@@ -1,0 +1,103 @@
+// Package repro's top-level benchmarks regenerate every figure of the
+// paper's evaluation (Sec. VI). Each benchmark runs one full parameter
+// sweep using the quick preset (exp.QuickConfig: windows and domains at
+// 30% size, horizon 2.5 windows) so the whole suite finishes in minutes,
+// and reports the aggregate JIT/REF improvement factors as custom metrics.
+// Full paper-exact sweeps are produced by cmd/jitbench (-size 1 [-scale 1]);
+// their measured series are recorded in EXPERIMENTS.md.
+//
+// Run a single figure:
+//
+//	go test -bench BenchmarkFig10 -benchtime 1x .
+//
+// The cmd/jitbench binary renders the full per-point tables and supports
+// the paper's full 5-hour horizon via -scale 1.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/exp"
+)
+
+// benchFigure runs one figure per iteration and reports improvement factors.
+func benchFigure(b *testing.B, run func(exp.Config) *exp.Figure, quick bool) {
+	b.ReportAllocs()
+	cfg := exp.Config{Scale: 0.001, Seed: 1, Modes: exp.DefaultModes()}
+	if quick {
+		cfg = exp.QuickConfig()
+	}
+	var costRatio, memRatio float64
+	var points int
+	for i := 0; i < b.N; i++ {
+		f := run(cfg)
+		costRatio, memRatio, points = 0, 0, 0
+		for _, pt := range f.Points {
+			jit, ref := pt.Results["JIT"], pt.Results["REF"]
+			if jit.CostUnits > 0 {
+				costRatio += float64(ref.CostUnits) / float64(jit.CostUnits)
+			}
+			if jit.PeakMemKB > 0 {
+				memRatio += ref.PeakMemKB / jit.PeakMemKB
+			}
+			points++
+		}
+	}
+	if points > 0 {
+		b.ReportMetric(costRatio/float64(points), "REF/JIT-cost")
+		b.ReportMetric(memRatio/float64(points), "REF/JIT-mem")
+	}
+}
+
+// BenchmarkFig10 regenerates Figure 10: CPU & memory vs window size w
+// (bushy plan).
+func BenchmarkFig10(b *testing.B) { benchFigure(b, exp.Fig10, true) }
+
+// BenchmarkFig11 regenerates Figure 11: CPU & memory vs stream rate λ
+// (bushy plan).
+func BenchmarkFig11(b *testing.B) { benchFigure(b, exp.Fig11, true) }
+
+// BenchmarkFig12 regenerates Figure 12: CPU & memory vs number of sources N
+// (bushy plan).
+func BenchmarkFig12(b *testing.B) { benchFigure(b, exp.Fig12, true) }
+
+// BenchmarkFig13 regenerates Figure 13: CPU & memory vs max data value dmax
+// (bushy plan).
+func BenchmarkFig13(b *testing.B) { benchFigure(b, exp.Fig13, true) }
+
+// BenchmarkFig14 regenerates Figure 14: CPU & memory vs window size w
+// (left-deep plan).
+func BenchmarkFig14(b *testing.B) { benchFigure(b, exp.Fig14, true) }
+
+// BenchmarkFig15 regenerates Figure 15: CPU & memory vs stream rate λ
+// (left-deep plan).
+func BenchmarkFig15(b *testing.B) { benchFigure(b, exp.Fig15, true) }
+
+// BenchmarkFig16 regenerates Figure 16: CPU & memory vs number of sources N
+// (left-deep plan).
+func BenchmarkFig16(b *testing.B) { benchFigure(b, exp.Fig16, true) }
+
+// BenchmarkFig17 regenerates Figure 17: CPU & memory vs max data value dmax
+// (left-deep plan).
+func BenchmarkFig17(b *testing.B) { benchFigure(b, exp.Fig17, true) }
+
+// BenchmarkAblationDefault compares JIT, REF, DOE and Bloom-JIT at the
+// Table III bushy default point — the design-choice ablation called out in
+// DESIGN.md.
+func BenchmarkAblationDefault(b *testing.B) {
+	cfg := exp.QuickConfig()
+	cfg.Modes = exp.AblationModes()
+	for i := 0; i < b.N; i++ {
+		p := exp.DefaultBushyParams(cfg)
+		for _, nm := range cfg.Modes {
+			q := p
+			q.Mode = nm.Mode
+			q.Seed = 1
+			q.Window = q.Window * 3 / 10
+			q.DMax = q.DMax * 3 / 10
+			q.Horizon = q.Window * 5 / 2
+			r := q.Run()
+			b.ReportMetric(float64(r.CostUnits), nm.Name+"-cost")
+		}
+	}
+}

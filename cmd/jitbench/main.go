@@ -1,0 +1,67 @@
+// Command jitbench regenerates the paper's evaluation figures (10-17).
+//
+// Usage:
+//
+//	jitbench [-fig N|all] [-scale F] [-size F] [-seed N] [-ablation]
+//
+// -scale scales the application-time horizon relative to the paper's 5
+// hours (floored at 2.5 windows); -scale 1 reproduces the full runs.
+// -size optionally scales window and dmax together for quick looks.
+// -ablation adds the DOE and Bloom-JIT modes to the comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to run: 10..17 or 'all'")
+	scale := flag.Float64("scale", 0.02, "horizon scale relative to the paper's 5 hours")
+	size := flag.Float64("size", 1.0, "window/domain size scale (1 = paper-exact)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	ablation := flag.Bool("ablation", false, "include DOE and Bloom-JIT modes")
+	flag.Parse()
+
+	cfg := exp.Config{Scale: *scale, SizeScale: *size, Seed: *seed, Modes: exp.DefaultModes()}
+	if *ablation {
+		cfg.Modes = exp.AblationModes()
+	}
+
+	var runs []func(exp.Config) *exp.Figure
+	if *fig == "all" {
+		for id := 10; id <= 17; id++ {
+			f, _ := exp.ByID(id)
+			runs = append(runs, f)
+		}
+	} else {
+		var id int
+		if _, err := fmt.Sscanf(*fig, "%d", &id); err != nil {
+			fmt.Fprintf(os.Stderr, "jitbench: bad -fig %q\n", *fig)
+			os.Exit(2)
+		}
+		f, ok := exp.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "jitbench: unknown figure %d (want 10..17)\n", id)
+			os.Exit(2)
+		}
+		runs = append(runs, f)
+	}
+
+	for _, run := range runs {
+		start := time.Now()
+		f := run(cfg)
+		f.Render(os.Stdout)
+		fmt.Printf("(elapsed %v)\n", time.Since(start).Round(time.Millisecond))
+		if bad := f.CheckShape(); len(bad) > 0 {
+			for _, v := range bad {
+				fmt.Println("  shape deviation:", v)
+			}
+		}
+		fmt.Println()
+	}
+}

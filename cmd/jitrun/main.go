@@ -1,0 +1,66 @@
+// Command jitrun executes an N-way clique continuous query over a synthetic
+// workload with a chosen execution mode and prints the run summary — a
+// command-line harness for exploring the JIT/REF/DOE/Bloom trade-offs
+// outside the fixed figure sweeps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/stream"
+)
+
+func main() {
+	n := flag.Int("n", 4, "number of streaming sources")
+	bushy := flag.Bool("bushy", true, "bushy plan (false = left-deep)")
+	rate := flag.Float64("rate", 1.0, "arrival rate λ (tuples/sec/source)")
+	dmax := flag.Int64("dmax", 200, "value domain upper bound")
+	window := flag.Float64("window", 5, "window size in minutes")
+	minutes := flag.Float64("minutes", 15, "horizon in minutes")
+	seed := flag.Int64("seed", 1, "random seed")
+	mode := flag.String("mode", "jit", "execution mode: jit, ref, doe, bloom")
+	flag.Parse()
+
+	var m core.Mode
+	switch *mode {
+	case "jit":
+		m = core.JIT()
+	case "ref":
+		m = core.REF()
+	case "doe":
+		m = core.DOE()
+	case "bloom":
+		m = core.BloomJIT()
+	default:
+		fmt.Fprintf(os.Stderr, "jitrun: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	p := exp.Params{
+		N:       *n,
+		Bushy:   *bushy,
+		Window:  stream.Time(*window * float64(stream.Minute)),
+		Rate:    *rate,
+		DMax:    *dmax,
+		Horizon: stream.Time(*minutes * float64(stream.Minute)),
+		Seed:    *seed,
+		Mode:    m,
+	}
+	r := p.Run()
+	fmt.Printf("mode=%s plan=%s N=%d w=%v λ=%.2f dmax=%d horizon=%v\n",
+		*mode, planName(*bushy), *n, p.Window, *rate, *dmax, p.Horizon)
+	fmt.Printf("arrivals=%d results=%d cost=%d wall=%v peakMem=%.1fKB\n",
+		r.Arrivals, r.Results, r.CostUnits, r.WallTime, r.PeakMemKB)
+	fmt.Println(r.Counters.String())
+}
+
+func planName(bushy bool) string {
+	if bushy {
+		return "bushy"
+	}
+	return "left-deep"
+}

@@ -1,0 +1,92 @@
+package bloom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stream"
+)
+
+// TestNoFalseNegatives is the soundness property JIT relies on: an inserted
+// value is never reported absent (a false "absent" would suspend demanded
+// results).
+func TestNoFalseNegatives(t *testing.T) {
+	f := func(vals []int64) bool {
+		flt := NewForCapacity(len(vals))
+		for _, v := range vals {
+			flt.Insert(stream.Value(v))
+		}
+		for _, v := range vals {
+			if !flt.MayContain(stream.Value(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	flt := NewForCapacity(1000)
+	inserted := map[int64]bool{}
+	for i := 0; i < 1000; i++ {
+		v := rng.Int63n(1 << 40)
+		inserted[v] = true
+		flt.Insert(stream.Value(v))
+	}
+	fp, probes := 0, 0
+	for i := 0; i < 10000; i++ {
+		v := rng.Int63n(1 << 40)
+		if inserted[v] {
+			continue
+		}
+		probes++
+		if flt.MayContain(stream.Value(v)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / float64(probes)
+	if rate > 0.05 {
+		t.Fatalf("false positive rate %.3f too high for 1%% sizing", rate)
+	}
+}
+
+func TestRebuild(t *testing.T) {
+	flt := New(256, 3)
+	for i := 0; i < 100; i++ {
+		flt.Insert(stream.Value(i))
+	}
+	for i := 0; i < 60; i++ {
+		flt.NoteDelete()
+	}
+	if !flt.NeedsRebuild() {
+		t.Fatal("should need rebuild after 60% deletions")
+	}
+	flt.Rebuild([]stream.Value{1, 2, 3})
+	if flt.NeedsRebuild() {
+		t.Fatal("fresh rebuild should not need another")
+	}
+	for _, v := range []stream.Value{1, 2, 3} {
+		if !flt.MayContain(v) {
+			t.Fatalf("live value %d lost in rebuild", v)
+		}
+	}
+}
+
+func TestSizing(t *testing.T) {
+	flt := NewForCapacity(100)
+	if flt.Bits() < 64 || flt.Hashes() < 1 {
+		t.Fatalf("degenerate sizing: %d bits %d hashes", flt.Bits(), flt.Hashes())
+	}
+	small := New(1, 0) // clamped
+	if small.Bits() < 64 || small.Hashes() != 1 {
+		t.Fatal("clamping failed")
+	}
+	if flt.SizeBytes() <= 0 {
+		t.Fatal("size must be positive")
+	}
+}

@@ -1,0 +1,469 @@
+package core
+
+import (
+	"repro/internal/feedback"
+	"repro/internal/operator"
+	"repro/internal/state"
+	"repro/internal/stream"
+)
+
+// Feedback implements operator.Producer — the Handle_Feedback procedure of
+// Fig. 6. Per the scheduling policies of Sec. III-B/C the handling is
+// pre-emptive and synchronous: propagation happens before local handling,
+// and for resumptions the demanded partial results S_Π are returned to the
+// calling consumer.
+func (j *JoinOp) Feedback(msg feedback.Message) []*stream.Composite {
+	if !j.mode.enabled() || j.mode.IgnoreFeedback {
+		return nil
+	}
+	switch msg.Cmd {
+	case feedback.Suspend:
+		for _, m := range msg.MNS {
+			j.handleSuspend(m)
+		}
+	case feedback.Resume:
+		var out []*stream.Composite
+		for _, m := range msg.MNS {
+			j.handleResume(m, &out)
+		}
+		return out
+	case feedback.Mark:
+		if j.mode.TypeII {
+			for _, m := range msg.MNS {
+				j.marks.AddRelay(m)
+			}
+		}
+	case feedback.Unmark:
+		for _, m := range msg.MNS {
+			j.marks.RemoveRelay(m.Key())
+		}
+	}
+	return nil
+}
+
+// handleSuspend dispatches one MNS of a suspension feedback by type:
+// Ø (total suspension, the DOE case), Type I (contained in one input side),
+// or Type II (spanning both sides → mark-result protocol).
+func (j *JoinOp) handleSuspend(m *feedback.MNS) {
+	if m.IsEmpty() {
+		j.suspendTotal(m)
+		return
+	}
+	switch {
+	case j.in[operator.Left].sources.Contains(m.Sources):
+		j.suspendTypeI(j.in[operator.Left], m)
+	case j.in[operator.Right].sources.Contains(m.Sources):
+		j.suspendTypeI(j.in[operator.Right], m)
+	default:
+		j.suspendTypeII(m)
+	}
+}
+
+// suspendTotal handles the Ø MNS: all production stops. Arrivals on both
+// sides are diverted to the Ø blacklist entries; existing state tuples stay
+// in place (they are fully caught up and will not be probed, since no new
+// arrivals reach the states). The suspension propagates upstream because a
+// fully suspended operator has no demand for inputs.
+func (j *JoinOp) suspendTotal(m *feedback.MNS) {
+	for p := operator.Port(0); p < 2; p++ {
+		s := j.in[p]
+		if j.mode.Propagate && s.prod != nil && s.prod.CanSuspend() {
+			j.ctr.Feedbacks++
+			s.prod.Feedback(feedback.Message{Cmd: feedback.Suspend, MNS: []*feedback.MNS{m}})
+		}
+	}
+	for p := operator.Port(0); p < 2; p++ {
+		s := j.in[p]
+		entry, _ := s.black.Ensure(m)
+		// Mark any in-flight probing input on this port for deferred
+		// parking: Ø covers everything.
+		for _, f := range j.frames {
+			if f.parked || f.parkEntry != nil || f.port != p {
+				continue
+			}
+			f.parkEntry = entry
+		}
+	}
+}
+
+// suspendTypeI implements Suspend_Production for a Type I MNS on side s:
+// propagate upstream, then move matching tuples (by signature when
+// generalization is on, else exact super-tuples of the anchor) from the
+// state to the blacklist entry, recording their resumption cursors.
+func (j *JoinOp) suspendTypeI(s *side, m *feedback.MNS) {
+	o := j.in[s.port.Opposite()]
+	if j.mode.Propagate && s.prod != nil && s.prod.CanSuspend() {
+		j.ctr.Feedbacks++
+		s.prod.Feedback(feedback.Message{Cmd: feedback.Suspend, MNS: []*feedback.MNS{m}})
+	}
+	entry, created := s.black.Ensure(m)
+	if !created {
+		// Already suspended: the consumer re-detected the MNS on a queued
+		// super-tuple; the entry's expiry has been extended, nothing else
+		// to do (Sec. III-B).
+		return
+	}
+	// Mark a matching in-flight probing input on this port for parking: "if
+	// right before handling the feedback, OP was joining a super-tuple t of
+	// s, t is also inserted to BL" (Sec. IV-B). Parking is deferred until
+	// the input's current probe completes (see probeFrame.parkEntry).
+	for _, f := range j.frames {
+		if f.parked || f.parkEntry != nil || f.port != s.port {
+			continue
+		}
+		if j.mnsMatches(m, f.input) {
+			f.parkEntry = entry
+		}
+	}
+	// Move matching state tuples. Tuples carrying an active mark decline
+	// suspension (they must stay joinable for the mark protocol; JIT is
+	// best-effort, so leaving them active is always sound).
+	opFrame := j.topFrameOn(o.port)
+	removed := s.st.RemoveIf(func(c *stream.Composite) bool {
+		return j.mnsMatches(m, c)
+	})
+	for _, se := range removed {
+		cursor := o.seq.Watermark()
+		if opFrame != nil && opFrame.lastPartner < se.Seq {
+			// The in-flight opposite input has not reached this tuple yet;
+			// exclude it from the "already joined" claim.
+			cursor = opFrame.seq - 1
+		}
+		// The watermark claim is false for opposite tuples that are
+		// currently suspended with scan cursors short of this tuple: their
+		// aborted or never-started probes never reached it. Record those
+		// pairs explicitly so resumption can generate them (deduplicated
+		// against Done if the other side resumes first) — without this,
+		// mutually suspended partners across operators deadlock and lose
+		// results (DESIGN.md §2).
+		var pending []uint64
+		for _, oe := range o.black.Entries() {
+			for i := range oe.Tuples {
+				w := &oe.Tuples[i]
+				if w.Cursor < se.Seq && w.E.Seq <= cursor && !w.IsDone(se.Seq) {
+					pending = append(pending, w.E.Seq)
+				}
+			}
+		}
+		s.black.Park(entry, feedback.Suspended{E: se, Cursor: cursor, Pending: pending})
+		j.ctr.Suspended++
+	}
+}
+
+// suspendTypeII implements the mark-result protocol of Sec. IV-B: the MNS
+// is decomposed over the two input sides; upstream producers are told to
+// mark matching outputs; locally an origin entry suppresses joins between
+// left-marked and right-marked tuples.
+func (j *JoinOp) suspendTypeII(m *feedback.MNS) {
+	if !j.mode.TypeII {
+		return // explicitly permitted: implementations may skip Type II
+	}
+	L, R := j.in[operator.Left], j.in[operator.Right]
+	mL, mR := restrictMNS(m, L.sources), restrictMNS(m, R.sources)
+	if j.mode.Propagate && L.prod != nil && L.prod.CanSuspend() && len(mL.Sig) > 0 {
+		j.ctr.Feedbacks++
+		L.prod.Feedback(feedback.Message{Cmd: feedback.Mark, MNS: []*feedback.MNS{mL}})
+	}
+	if j.mode.Propagate && R.prod != nil && R.prod.CanSuspend() && len(mR.Sig) > 0 {
+		j.ctr.Feedbacks++
+		R.prod.Feedback(feedback.Message{Cmd: feedback.Mark, MNS: []*feedback.MNS{mR}})
+	}
+	e := j.marks.ActivateOrigin(m, L.sources, R.sources)
+	if e == nil {
+		return // duplicate; expiry extended
+	}
+	j.markScan(e, L, e.SigL)
+	j.markScan(e, R, e.SigR)
+}
+
+// markScan marks the existing state tuples (and any in-flight input) of one
+// side that match the entry's side signature.
+func (j *JoinOp) markScan(e *feedback.OriginEntry, s *side, sig feedback.Signature) {
+	if len(sig) == 0 {
+		return
+	}
+	for _, se := range s.st.Entries() {
+		j.ctr.Comparisons += uint64(len(sig))
+		if sig.MatchedBy(se.C) {
+			j.marks.Enroll(e, s.port == operator.Left, se)
+		}
+	}
+	for _, f := range j.frames {
+		if f.parked || f.port != s.port {
+			continue
+		}
+		j.ctr.Comparisons += uint64(len(sig))
+		if sig.MatchedBy(f.input) {
+			// The in-flight input becomes marked mid-probe: the rest of its
+			// scan applies suppression and records the suppressed pairs.
+			j.marks.Enroll(e, s.port == operator.Left, stateEntryOf(f))
+		}
+	}
+}
+
+// handleResume dispatches one MNS of a resumption feedback and appends the
+// demanded partial results to out.
+func (j *JoinOp) handleResume(m *feedback.MNS, out *[]*stream.Composite) {
+	if m.IsEmpty() {
+		j.resumeTotal(m, out)
+		return
+	}
+	switch {
+	case j.in[operator.Left].sources.Contains(m.Sources):
+		j.resumeTypeI(j.in[operator.Left], m, out)
+	case j.in[operator.Right].sources.Contains(m.Sources):
+		j.resumeTypeI(j.in[operator.Right], m, out)
+	default:
+		j.resumeTypeII(m, out)
+	}
+}
+
+// resumeTotal lifts an Ø suspension: propagate upstream first (gathering the
+// inputs suppressed there), process them, then reactivate the locally
+// diverted arrivals.
+func (j *JoinOp) resumeTotal(m *feedback.MNS, out *[]*stream.Composite) {
+	for p := operator.Port(0); p < 2; p++ {
+		s := j.in[p]
+		if j.mode.Propagate && s.prod != nil && s.prod.CanSuspend() {
+			j.ctr.Feedbacks++
+			ups := s.prod.Feedback(feedback.Message{Cmd: feedback.Resume, MNS: []*feedback.MNS{m}})
+			j.processUpstream(s, ups, out)
+		}
+	}
+	for p := operator.Port(0); p < 2; p++ {
+		s := j.in[p]
+		if e, ok := s.black.Take(m.Key()); ok {
+			j.reactivate(s, e, out)
+		}
+	}
+}
+
+// resumeTypeI implements Resume_Production for a Type I MNS: propagate
+// upstream first and process the returned inputs, then reactivate the
+// entry's suspended tuples with their catch-up scans.
+func (j *JoinOp) resumeTypeI(s *side, m *feedback.MNS, out *[]*stream.Composite) {
+	if j.mode.Propagate && s.prod != nil && s.prod.CanSuspend() {
+		j.ctr.Feedbacks++
+		ups := s.prod.Feedback(feedback.Message{Cmd: feedback.Resume, MNS: []*feedback.MNS{m}})
+		j.processUpstream(s, ups, out)
+	}
+	if e, ok := s.black.Take(m.Key()); ok {
+		j.reactivate(s, e, out)
+	} else {
+	}
+}
+
+// processUpstream feeds inputs returned by an upstream resumption through
+// normal processing (diversion check, probe, insert), collecting results.
+func (j *JoinOp) processUpstream(s *side, ups []*stream.Composite, out *[]*stream.Composite) {
+	for _, u := range ups {
+		if u.MinTS+j.window <= j.now {
+			continue
+		}
+		if j.divert(u, s.port) {
+			continue
+		}
+		j.activate(activation{c: u, port: s.port, collect: out})
+	}
+}
+
+// reactivate returns an entry's surviving tuples to the active state,
+// performing the exactly-once catch-up join (opposite sequence beyond each
+// tuple's cursor, over both the opposite state and blacklists).
+func (j *JoinOp) reactivate(s *side, e *feedback.Entry, out *[]*stream.Composite) {
+	s.black.ReleaseTuples(e)
+	for _, susp := range e.Tuples {
+		if susp.E.C.MinTS+j.window <= j.now {
+			continue // expired while suspended; its results were never demanded
+		}
+		j.ctr.Resumed++
+		j.activate(activation{
+			c:         susp.E.C,
+			port:      s.port,
+			seq:       susp.E.Seq,
+			reuse:     true,
+			cursor:    susp.Cursor,
+			scanBlack: true,
+			collect:   out,
+			done:      susp.Done,
+			pending:   susp.Pending,
+		})
+	}
+}
+
+// resumeTypeII dissolves an origin mark entry: unmark upstream, then
+// generate the suppressed marked×marked pairs exactly once via the XOR
+// cursor rule.
+func (j *JoinOp) resumeTypeII(m *feedback.MNS, out *[]*stream.Composite) {
+	if !j.mode.TypeII {
+		return
+	}
+	e, ok := j.marks.TakeOrigin(m.Key())
+	if !ok {
+		return
+	}
+	j.propagateUnmark(e.MNS)
+	j.unmarkCatchup(e, out)
+}
+
+// propagateUnmark tells upstream relays to stop stamping for this MNS.
+func (j *JoinOp) propagateUnmark(m *feedback.MNS) {
+	L, R := j.in[operator.Left], j.in[operator.Right]
+	mL, mR := restrictMNS(m, L.sources), restrictMNS(m, R.sources)
+	if j.mode.Propagate && L.prod != nil && L.prod.CanSuspend() && len(mL.Sig) > 0 {
+		j.ctr.Feedbacks++
+		L.prod.Feedback(feedback.Message{Cmd: feedback.Unmark, MNS: []*feedback.MNS{mL}})
+	}
+	if j.mode.Propagate && R.prod != nil && R.prod.CanSuspend() && len(mR.Sig) > 0 {
+		j.ctr.Feedbacks++
+		R.prod.Feedback(feedback.Message{Cmd: feedback.Unmark, MNS: []*feedback.MNS{mR}})
+	}
+}
+
+// unmarkCatchup generates the pairs that were suppressed while the mark was
+// active — exactly the entry's recorded pending pairs. A pair still covered
+// by another active mark is deferred to that entry; a pair whose endpoint is
+// an in-flight probe that will still reach the partner live is left to that
+// scan. Generation is deduplicated per pair.
+func (j *JoinOp) unmarkCatchup(e *feedback.OriginEntry, out *[]*stream.Composite) {
+	id := e.MNS.ID
+	L := j.in[operator.Left]
+	gen := make(map[[2]uint64]bool, len(e.Pending))
+	for _, p := range e.Pending {
+		key := [2]uint64{p.L.Seq, p.R.Seq}
+		if gen[key] {
+			continue
+		}
+		gen[key] = true
+		if p.L.C.MinTS+j.window <= j.now || p.R.C.MinTS+j.window <= j.now {
+			continue // expired: fruitless partial result, never needed
+		}
+		// If either endpoint is an in-flight probing input whose paused
+		// scan has not yet reached the partner's slot, the live scan will
+		// generate the pair itself once the mark is gone.
+		if g := j.frameOf(p.L.C); g != nil && g.lastPartner < p.R.Seq {
+			continue
+		}
+		if g := j.frameOf(p.R.C); g != nil && g.lastPartner < p.L.Seq {
+			continue
+		}
+		if other := j.marks.SuppressedBy(p.L.C, p.R.C, id); other != 0 {
+			// Still covered by another active mark: defer the pair there.
+			j.ctr.SuppressedPairs++
+			if oe := j.marks.EntryByID(other); oe != nil {
+				j.marks.RecordSuppressed(oe, p.L, p.R)
+			}
+			continue
+		}
+		j.ctr.CatchUpJoins++
+		_, full, n := j.evalAtoms(p.L.C, L, p.R.C, false)
+		j.ctr.Comparisons += uint64(n)
+		if !full {
+			continue
+		}
+		res := stream.Join(p.L.C, p.R.C)
+		j.ctr.Results++
+		if !j.marks.Empty() {
+			j.ctr.Comparisons += uint64(j.marks.StampOutput(res))
+		}
+		*out = append(*out, res)
+	}
+	j.marks.ReleasePending(e)
+	for _, l := range e.Left {
+		l.C.RemoveMark(id)
+	}
+	for _, r := range e.Right {
+		r.C.RemoveMark(id)
+	}
+}
+
+// Sweep is called by the engine before each arrival: expired MNS anchors
+// release their surviving suspended tuples (which re-enter processing and,
+// if still unmatched, are re-suspended under fresh anchors by the
+// downstream consumer), and expired mark entries run their unmark catch-up.
+// See DESIGN.md §2 (expiry sweep).
+func (j *JoinOp) Sweep(now stream.Time) {
+	if now > j.now {
+		j.now = now
+	}
+	if !j.mode.enabled() {
+		return
+	}
+	j.purge()
+	if !j.marks.Empty() {
+		j.marks.PurgeRelays(j.now)
+		if j.marks.HasExpired(j.now) {
+			for _, e := range j.marks.TakeExpiredOrigins(j.now) {
+				var out []*stream.Composite
+				j.propagateUnmark(e.MNS)
+				j.unmarkCatchup(e, &out)
+				for _, r := range out {
+					j.emit(r)
+				}
+			}
+		}
+	}
+	for p := operator.Port(0); p < 2; p++ {
+		s := j.in[p]
+		if !s.black.HasExpired(j.now) {
+			continue
+		}
+		for _, e := range s.black.TakeExpired(j.now) {
+			var out []*stream.Composite
+			j.reactivate(s, e, &out)
+			for _, r := range out {
+				j.emit(r)
+			}
+		}
+	}
+}
+
+// mnsMatches applies the configured matching rule: value signature when
+// generalization is on, exact anchor super-tuple otherwise.
+func (j *JoinOp) mnsMatches(m *feedback.MNS, c *stream.Composite) bool {
+	if m.IsEmpty() {
+		return true
+	}
+	j.ctr.Comparisons += uint64(len(m.Sig))
+	if j.mode.Generalize {
+		return m.Sig.MatchedBy(c)
+	}
+	return m.Anchor != nil && m.Anchor.IsSubTuple(c)
+}
+
+// frameOf returns the in-flight probe frame whose input is exactly c, if
+// any — the composite is then not yet inserted into its state and its scan
+// position (lastPartner) determines which pairs it will still produce live.
+func (j *JoinOp) frameOf(c *stream.Composite) *probeFrame {
+	for i := len(j.frames) - 1; i >= 0; i-- {
+		if j.frames[i].input == c && !j.frames[i].parked {
+			return j.frames[i]
+		}
+	}
+	return nil
+}
+
+// topFrameOn returns the innermost in-flight probe frame on the given port.
+func (j *JoinOp) topFrameOn(p operator.Port) *probeFrame {
+	for i := len(j.frames) - 1; i >= 0; i-- {
+		if j.frames[i].port == p && !j.frames[i].parked {
+			return j.frames[i]
+		}
+	}
+	return nil
+}
+
+// restrictMNS projects an MNS onto one input side's sources (Type II
+// decomposition); the mark id is shared so stamped outputs are recognised.
+func restrictMNS(m *feedback.MNS, set stream.SourceSet) *feedback.MNS {
+	return &feedback.MNS{
+		ID:      m.ID,
+		Sources: m.Sources & set,
+		Sig:     m.Sig.Restrict(set),
+		Expiry:  m.Expiry,
+	}
+}
+
+func stateEntryOf(f *probeFrame) state.Entry {
+	return state.Entry{C: f.input, Seq: f.seq}
+}

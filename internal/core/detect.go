@@ -1,0 +1,243 @@
+package core
+
+import (
+	"repro/internal/bloom"
+	"repro/internal/feedback"
+	"repro/internal/lattice"
+	"repro/internal/operator"
+	"repro/internal/predicate"
+	"repro/internal/state"
+	"repro/internal/stream"
+)
+
+// detectCtx accumulates per-partner observations for lattice-based MNS
+// detection; it only exists for DetectLattice (DOE needs no per-pair work
+// and Bloom detection queries filters after the probe).
+type detectCtx struct {
+	lat   *lattice.Lattice // nil when falling back to Level-1 only
+	ever  uint32           // union of matched atoms (Level-1 fallback)
+	atoms int
+}
+
+// newDetect prepares a detection context for one fresh input on side s.
+func (j *JoinOp) newDetect(s *side) *detectCtx {
+	if j.mode.Detect != DetectLattice || len(s.atoms) == 0 {
+		return nil
+	}
+	d := &detectCtx{atoms: len(s.atoms)}
+	if !s.level1Only {
+		d.lat = lattice.New(len(s.atoms))
+	}
+	return d
+}
+
+// observe feeds one partner's matched-atom mask into the context.
+func (d *detectCtx) observe(j *JoinOp, mask uint32, full bool) {
+	if d.lat != nil {
+		before := d.lat.Ops()
+		if full {
+			d.lat.ObserveAllDead()
+		} else {
+			d.lat.Observe(mask)
+		}
+		j.ctr.LatticeNodes += d.lat.Ops() - before
+		return
+	}
+	d.ever |= mask
+	j.ctr.LatticeNodes += uint64(d.atoms)
+}
+
+// reportMNS implements the tail of Identify_MNS (Fig. 8) plus feedback
+// dispatch: compute the MNS set Ω for input f.input, record it in the MNS
+// buffer, and send a suspension feedback to the producer. Called only when
+// the probe produced no full match (otherwise no node can be alive).
+func (j *JoinOp) reportMNS(f *probeFrame, s, o *side, det *detectCtx) {
+	var mnses []*feedback.MNS
+	if o.st.Empty() {
+		// Fig. 8 line 2: empty opposite state → Ø is the only MNS. This is
+		// the DOE special case; the producer suspends entirely.
+		mnses = append(mnses, &feedback.MNS{ID: j.nextMNS(), Expiry: feedback.NoExpiry})
+	} else {
+		switch j.mode.Detect {
+		case DetectLattice:
+			if det == nil {
+				return
+			}
+			var masks []uint32
+			if det.lat != nil {
+				before := det.lat.Ops()
+				masks = det.lat.MNSes()
+				j.ctr.LatticeNodes += det.lat.Ops() - before
+			} else {
+				for k := range s.atoms {
+					if det.ever&(1<<uint(k)) == 0 {
+						masks = append(masks, 1<<uint(k))
+					}
+				}
+			}
+			for _, mask := range masks {
+				if m := j.buildMNS(f.input, s, o, mask); m != nil {
+					mnses = append(mnses, m)
+				}
+			}
+		case DetectBloom:
+			for k := range s.atoms {
+				if j.bloomAtomAbsent(f.input, s, o, k) {
+					if m := j.buildMNS(f.input, s, o, 1<<uint(k)); m != nil {
+						mnses = append(mnses, m)
+					}
+				}
+			}
+		default: // DetectDOE: Ø only, handled above.
+			return
+		}
+	}
+	if len(mnses) == 0 {
+		return
+	}
+	j.ctr.MNSDetected += uint64(len(mnses))
+	for _, m := range mnses {
+		s.buf.Add(m)
+	}
+	if s.prod != nil {
+		j.ctr.Feedbacks++
+		s.prod.Feedback(feedback.Message{Cmd: feedback.Suspend, MNS: mnses})
+	}
+}
+
+// buildMNS materializes the MNS for an atom mask of input c: the spanned
+// sources, the value signature over the consumer's join attributes, the
+// crossing predicates (for buffer probing), the anchor sub-tuple, and the
+// expiry (when the anchor's oldest component leaves the window).
+func (j *JoinOp) buildMNS(c *stream.Composite, s, o *side, mask uint32) *feedback.MNS {
+	var srcSet stream.SourceSet
+	var preds predicate.Conj
+	minTS := stream.Time(1) << 61
+	for k, src := range s.atoms {
+		if mask&(1<<uint(k)) == 0 {
+			continue
+		}
+		comp := c.Comp(src)
+		if comp == nil {
+			return nil
+		}
+		srcSet = srcSet.Add(src)
+		preds = append(preds, s.atomPreds[k]...)
+		if comp.TS < minTS {
+			minTS = comp.TS
+		}
+	}
+	if srcSet.Empty() {
+		return nil
+	}
+	var attrs []predicate.Attr
+	for _, src := range srcSet.IDs() {
+		attrs = append(attrs, j.preds.JoinAttrs(src, o.sources)...)
+	}
+	sig := feedback.MakeSignature(attrs, c.Comp)
+	return &feedback.MNS{
+		ID:      j.nextMNS(),
+		Sources: srcSet,
+		Sig:     sig,
+		Preds:   preds,
+		Expiry:  minTS + j.window,
+		Anchor:  c.Project(srcSet),
+	}
+}
+
+// bloomAtomAbsent reports whether the Bloom filters over the opposite state
+// prove that atom k of input c has no join partner: some predicate's value
+// is certainly absent from the corresponding opposite column (Sec. IV-A).
+func (j *JoinOp) bloomAtomAbsent(c *stream.Composite, s, o *side, k int) bool {
+	if o.blooms == nil {
+		return false
+	}
+	for _, p := range s.atomPreds[k] {
+		var inAttr, opAttr predicate.Attr
+		if s.sources.Has(p.Left) {
+			inAttr = predicate.Attr{Source: p.Left, Col: p.LCol}
+			opAttr = predicate.Attr{Source: p.Right, Col: p.RCol}
+		} else {
+			inAttr = predicate.Attr{Source: p.Right, Col: p.RCol}
+			opAttr = predicate.Attr{Source: p.Left, Col: p.LCol}
+		}
+		flt := o.blooms[opAttr]
+		if flt == nil {
+			continue
+		}
+		comp := c.Comp(inAttr.Source)
+		if comp == nil {
+			continue
+		}
+		j.ctr.BloomChecks++
+		if !flt.MayContain(comp.Vals[inAttr.Col]) {
+			return true
+		}
+	}
+	return false
+}
+
+// bloomInsert adds a newly stored tuple's crossing-attribute values to the
+// side's filters (creating them lazily).
+func (j *JoinOp) bloomInsert(s *side, c *stream.Composite) {
+	o := j.in[s.port.Opposite()]
+	for _, src := range s.sources.IDs() {
+		comp := c.Comp(src)
+		if comp == nil {
+			continue
+		}
+		for _, a := range j.preds.JoinAttrs(src, o.sources) {
+			flt := s.blooms[a]
+			if flt == nil {
+				flt = bloom.NewForCapacity(256)
+				s.blooms[a] = flt
+				j.acct.Alloc(flt.SizeBytes())
+			}
+			j.ctr.BloomChecks++
+			flt.Insert(comp.Vals[a.Col])
+		}
+	}
+}
+
+// bloomNoteDeletes records purges against the side's filters, rebuilding
+// them from the live state when stale bits accumulate.
+func (j *JoinOp) bloomNoteDeletes(s *side, n int) {
+	o := j.in[s.port.Opposite()]
+	for a, flt := range s.blooms {
+		for i := 0; i < n; i++ {
+			flt.NoteDelete()
+		}
+		if !flt.NeedsRebuild() {
+			continue
+		}
+		var vals []stream.Value
+		s.st.Scan(func(e state.Entry) bool {
+			if comp := e.C.Comp(a.Source); comp != nil {
+				vals = append(vals, comp.Vals[a.Col])
+			}
+			return true
+		})
+		j.ctr.BloomChecks += uint64(len(vals))
+		flt.Rebuild(vals)
+	}
+	_ = o
+}
+
+// registerMarks enrolls a freshly stored tuple in any origin mark entry it
+// belongs to — either because an upstream relay stamped it or because its
+// values match the entry's side signature — so joins with marked partners
+// on the other side are suppressed and recorded.
+func (j *JoinOp) registerMarks(se state.Entry, port operator.Port) {
+	if j.marks.NumOrigins() == 0 {
+		return
+	}
+	for _, e := range j.marks.Origins() {
+		sig := e.SigR
+		if port == operator.Left {
+			sig = e.SigL
+		}
+		if se.C.HasMark(e.MNS.ID) || (len(sig) > 0 && sig.MatchedBy(se.C)) {
+			j.marks.Enroll(e, port == operator.Left, se)
+		}
+	}
+}

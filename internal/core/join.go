@@ -1,0 +1,605 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bloom"
+	"repro/internal/feedback"
+	"repro/internal/lattice"
+	"repro/internal/metrics"
+	"repro/internal/operator"
+	"repro/internal/predicate"
+	"repro/internal/state"
+	"repro/internal/stream"
+)
+
+// Config assembles a JoinOp.
+type Config struct {
+	Name       string
+	NumSources int
+	Window     stream.Time
+	// Preds is the full query conjunction; the operator evaluates the
+	// subset crossing its two input sides.
+	Preds predicate.Conj
+	Mode  Mode
+	// Counters and Account are shared across the plan.
+	Counters *metrics.Counters
+	Account  *metrics.Account
+	// NextMNS supplies plan-unique MNS / mark identifiers.
+	NextMNS func() uint64
+	// LeftSources / RightSources are the source sets of the two inputs.
+	LeftSources  stream.SourceSet
+	RightSources stream.SourceSet
+	// LeftProd / RightProd are the upstream producers; nil when the input
+	// is a raw source (no feedback possible on that side).
+	LeftProd  operator.Producer
+	RightProd operator.Producer
+}
+
+// side holds everything attached to one input of the join.
+type side struct {
+	port    operator.Port
+	sources stream.SourceSet
+	prod    operator.Producer
+	seq     *state.Side
+	st      *state.State
+	black   *feedback.Blacklist
+	buf     *feedback.Buffer // MNSs detected on THIS side's inputs
+	// Lattice atoms for inputs arriving on this side: the input's
+	// components that participate in predicates crossing to the opposite
+	// side, with the per-atom predicate lists.
+	atoms      []stream.SourceID
+	atomPreds  []predicate.Conj
+	level1Only bool
+	detectable bool
+	// Bloom filters over THIS side's state values, keyed by attribute;
+	// queried when detecting MNSs on the opposite side's inputs.
+	blooms map[predicate.Attr]*bloom.Filter
+}
+
+// probeFrame tracks one in-progress probe so that re-entrant suspension
+// feedback can park the probing input mid-scan (Sec. III-B).
+type probeFrame struct {
+	input       *stream.Composite
+	port        operator.Port
+	seq         uint64
+	lastPartner uint64 // sequence of the last opposite entry processed
+	parked      bool
+	fullMatch   bool
+	// parkEntry, when set by a suspension received mid-probe, defers the
+	// parking of this input until its current probe completes: aborting the
+	// scan would strand pairs behind resumption cycles across operators
+	// (two mutually-suspended partners each waiting for the other's resume
+	// trigger). Completing the probe keeps the cursor claim exact.
+	parkEntry *feedback.Entry
+	done      map[uint64]bool // pairs pre-generated while suspended
+}
+
+// JoinOp is a binary sliding-window join with optional JIT machinery. It is
+// both a Consumer (of its two inputs) and a Producer (toward its consumer).
+type JoinOp struct {
+	name    string
+	numSrc  int
+	window  stream.Time
+	preds   predicate.Conj
+	mode    Mode
+	ctr     *metrics.Counters
+	acct    *metrics.Account
+	nextMNS func() uint64
+
+	consumer operator.Consumer
+	outPort  operator.Port
+
+	in     [2]*side
+	marks  *feedback.MarkTable
+	now    stream.Time
+	frames []*probeFrame
+}
+
+// NewJoin builds a join operator from the configuration.
+func NewJoin(cfg Config) *JoinOp {
+	if cfg.LeftSources.Intersects(cfg.RightSources) {
+		panic(fmt.Sprintf("core: join %q has overlapping inputs", cfg.Name))
+	}
+	j := &JoinOp{
+		name:    cfg.Name,
+		numSrc:  cfg.NumSources,
+		window:  cfg.Window,
+		preds:   cfg.Preds,
+		mode:    cfg.Mode,
+		ctr:     cfg.Counters,
+		acct:    cfg.Account,
+		nextMNS: cfg.NextMNS,
+	}
+	if j.mode.MaxAtoms <= 0 {
+		j.mode.MaxAtoms = 12
+	}
+	j.marks = feedback.NewMarkTable(cfg.Account)
+	mk := func(port operator.Port, srcs stream.SourceSet, prod operator.Producer, other stream.SourceSet) *side {
+		seq := &state.Side{}
+		s := &side{
+			port:    port,
+			sources: srcs,
+			prod:    prod,
+			seq:     seq,
+			st:      state.New(fmt.Sprintf("S_%s.%s", cfg.Name, port), seq, cfg.Account),
+			black:   feedback.NewBlacklist(fmt.Sprintf("B_%s.%s", cfg.Name, port), cfg.Account),
+			buf:     feedback.NewBuffer(fmt.Sprintf("NB_%s.%s", cfg.Name, port), cfg.Account),
+		}
+		s.atoms = cfg.Preds.SourcesLinkedTo(srcs, other)
+		for _, src := range s.atoms {
+			s.atomPreds = append(s.atomPreds, cfg.Preds.TouchingAcross(src, other))
+		}
+		s.level1Only = len(s.atoms) > j.mode.MaxAtoms || len(s.atoms) > lattice.MaxAtoms
+		s.detectable = j.mode.enabled() && prod != nil && prod.CanSuspend() && len(s.atoms) > 0
+		if j.mode.Detect == DetectBloom {
+			s.blooms = make(map[predicate.Attr]*bloom.Filter)
+		}
+		return s
+	}
+	j.in[operator.Left] = mk(operator.Left, cfg.LeftSources, cfg.LeftProd, cfg.RightSources)
+	j.in[operator.Right] = mk(operator.Right, cfg.RightSources, cfg.RightProd, cfg.LeftSources)
+	return j
+}
+
+// SetConsumer wires the downstream consumer and the port our outputs feed.
+func (j *JoinOp) SetConsumer(c operator.Consumer, port operator.Port) {
+	j.consumer, j.outPort = c, port
+}
+
+// Name implements operator.Op.
+func (j *JoinOp) Name() string { return j.name }
+
+// OutSources implements operator.Op.
+func (j *JoinOp) OutSources() stream.SourceSet {
+	return j.in[0].sources.Union(j.in[1].sources)
+}
+
+// CanSuspend implements operator.Producer: a join honours feedback unless
+// it is configured to ignore it or runs as the REF baseline.
+func (j *JoinOp) CanSuspend() bool { return j.mode.enabled() && !j.mode.IgnoreFeedback }
+
+// Window returns the operator's window length.
+func (j *JoinOp) Window() stream.Time { return j.window }
+
+// Side exposes internals for white-box tests: the state, blacklist and MNS
+// buffer of one port.
+func (j *JoinOp) Side(p operator.Port) (*state.State, *feedback.Blacklist, *feedback.Buffer) {
+	s := j.in[p]
+	return s.st, s.black, s.buf
+}
+
+// Marks exposes the mark table for white-box tests.
+func (j *JoinOp) Marks() *feedback.MarkTable { return j.marks }
+
+// Consume implements operator.Consumer: the Process_Input procedure of
+// Fig. 6, preceded by the blacklist fast path (diversion of arrivals whose
+// signature is already suspended, Sec. IV-B).
+func (j *JoinOp) Consume(c *stream.Composite, port operator.Port) {
+	if c.TS > j.now {
+		j.now = c.TS
+	}
+	j.purge()
+	s := j.in[port]
+	if j.mode.enabled() && !j.mode.IgnoreFeedback && s.black.Len() > 0 {
+		e, n := s.black.MatchArrival(c, j.now, j.mode.Generalize)
+		j.ctr.Comparisons += uint64(n)
+		if e != nil {
+			seq := s.seq.Next()
+			s.black.Park(e, feedback.Suspended{E: state.Entry{C: c, Seq: seq}, Cursor: 0})
+			j.ctr.Suspended++
+			return
+		}
+	}
+	j.activate(activation{c: c, port: port, detect: true})
+}
+
+// activation describes one tuple entering (or re-entering) a side.
+type activation struct {
+	c    *stream.Composite
+	port operator.Port
+	// seq is the pre-assigned stable sequence (reuse=true) or ignored.
+	seq   uint64
+	reuse bool
+	// cursor: only opposite entries with Seq > cursor are scanned.
+	cursor uint64
+	// scanBlack additionally scans the opposite blacklists (catch-up).
+	scanBlack bool
+	// detect runs Identify_MNS after the probe (fresh inputs only).
+	detect bool
+	// collect, when non-nil, receives results instead of downstream
+	// emission (resumption responses, Sec. III-A lines 14-17).
+	collect *[]*stream.Composite
+	// done lists opposite sequences whose pairs were already generated
+	// while this tuple was suspended (see feedback.Suspended.Done).
+	done map[uint64]bool
+	// pending lists opposite sequences at or below cursor whose pairs were
+	// never joined (see feedback.Suspended.Pending).
+	pending []uint64
+}
+
+// activate runs purge-probe-insert for one input, with the JIT additions:
+// MNS-buffer probe and resumption (lines 1-9 of Process_Input), detection
+// and suspension feedback (lines 11-12), and S_Π processing (lines 14-17).
+func (j *JoinOp) activate(a activation) {
+	s, o := j.in[a.port], j.in[a.port.Opposite()]
+	if !a.reuse {
+		a.seq = s.seq.Next()
+	}
+
+	// Probe the opposite MNS buffer and issue resumption feedback.
+	var spi []*stream.Composite
+	if j.mode.enabled() && !j.mode.IgnoreFeedback && o.buf.Len() > 0 {
+		matched, n := o.buf.Probe(a.c)
+		j.ctr.Comparisons += uint64(n)
+		if len(matched) > 0 && o.prod != nil {
+			j.ctr.Feedbacks++
+			spi = o.prod.Feedback(feedback.Message{Cmd: feedback.Resume, MNS: matched})
+		}
+	}
+
+	// Pre-probe marking: an input matching an origin mark entry's side
+	// signature acquires the mark id now, so suppression applies during its
+	// own probe (otherwise a live pair would be generated and later
+	// regenerated by the unmark catch-up). Enrollment into the entry's
+	// marked list happens at insertion, with the cursor rules of
+	// registerMarks.
+	if j.marks.NumOrigins() > 0 {
+		for _, e := range j.marks.Origins() {
+			sig := e.SigR
+			if a.port == operator.Left {
+				sig = e.SigL
+			}
+			if len(sig) > 0 {
+				j.ctr.Comparisons += uint64(len(sig))
+				if sig.MatchedBy(a.c) {
+					a.c.AddMark(e.MNS.ID)
+				}
+			}
+		}
+	}
+
+	var det *detectCtx
+	if a.detect && s.detectable {
+		det = j.newDetect(s)
+	}
+
+	// Probe the opposite state (and, for catch-up, the blacklists).
+	f := &probeFrame{input: a.c, port: a.port, seq: a.seq, lastPartner: a.cursor, done: a.done}
+	j.frames = append(j.frames, f)
+	j.probeState(f, s, o, det, a.collect, a.cursor == 0 && !a.scanBlack)
+	if a.scanBlack && !f.parked {
+		j.probeBlacklists(f, o, a.cursor, a.collect)
+	}
+	if len(a.pending) > 0 && !f.parked {
+		j.probePending(f, o, a.pending, a.collect)
+	}
+	if a.reuse && !f.parked {
+		// A reactivation can happen re-entrantly while an opposite input is
+		// mid-probe (a resumption cascade triggered from that input's own
+		// emission chain). If the in-flight scan has already passed this
+		// tuple's (old) sequence slot, neither side would ever produce the
+		// pair — generate it here, exactly once.
+		j.probeInFlight(f, o, a.cursor, a.collect)
+	}
+	j.frames = j.frames[:len(j.frames)-1]
+
+	// Identify_MNS and suspension feedback. A full match means no node of
+	// the lattice can be alive, so detection is skipped (Fig. 8 semantics
+	// at zero cost).
+	if det != nil && !f.parked && !f.fullMatch {
+		j.reportMNS(f, s, o, det)
+	}
+
+	// A suspension received mid-probe parks the input now that its probe is
+	// complete (cursor = full opposite watermark), unless the entry has
+	// already been resumed or expired in the meantime.
+	if !f.parked && f.parkEntry != nil {
+		if cur, ok := s.black.Entry(f.parkEntry.MNS.Key()); ok && cur == f.parkEntry {
+			var pending []uint64
+			cursor := o.seq.Watermark()
+			for _, oe := range o.black.Entries() {
+				for i := range oe.Tuples {
+					w := &oe.Tuples[i]
+					if w.Cursor < f.seq && w.E.Seq <= cursor && !w.IsDone(f.seq) {
+						pending = append(pending, w.E.Seq)
+					}
+				}
+			}
+			s.black.Park(f.parkEntry, feedback.Suspended{
+				E: state.Entry{C: a.c, Seq: a.seq}, Cursor: cursor, Pending: pending,
+			})
+			j.ctr.Suspended++
+			f.parked = true
+		}
+	}
+
+	// Insert the input into its state — unless a re-entrant suspension
+	// parked it mid-probe, in which case it already sits in a blacklist.
+	if !f.parked {
+		se := state.Entry{C: a.c, Seq: a.seq}
+		s.st.Reinsert(se)
+		j.ctr.Inserted++
+		if s.blooms != nil {
+			j.bloomInsert(s, a.c)
+		}
+		j.registerMarks(se, a.port)
+	}
+
+	// Process S_Π: the demanded partial results returned by the producer.
+	// Each is a brand-new input on the opposite side; by the resumption
+	// argument (DESIGN.md §2) only the current input can match them, so the
+	// full probe below performs exactly the paper's "join t with S_Π" plus
+	// cheap failing comparisons, while keeping cascaded resumption and mark
+	// bookkeeping uniform.
+	for _, u := range spi {
+		if u.MinTS+j.window <= j.now {
+			continue // expired while suspended upstream
+		}
+		if j.divert(u, a.port.Opposite()) {
+			continue
+		}
+		j.activate(activation{c: u, port: a.port.Opposite(), collect: a.collect})
+	}
+}
+
+// divert checks an arrival against the side's blacklist signatures and
+// parks it on a hit; returns true when the tuple was diverted.
+func (j *JoinOp) divert(c *stream.Composite, port operator.Port) bool {
+	s := j.in[port]
+	if !j.mode.enabled() || j.mode.IgnoreFeedback || s.black.Len() == 0 {
+		return false
+	}
+	e, n := s.black.MatchArrival(c, j.now, j.mode.Generalize)
+	j.ctr.Comparisons += uint64(n)
+	if e == nil {
+		return false
+	}
+	seq := s.seq.Next()
+	s.black.Park(e, feedback.Suspended{E: state.Entry{C: c, Seq: seq}, Cursor: 0})
+	j.ctr.Suspended++
+	return true
+}
+
+// probeState scans the opposite state in sequence order, evaluating the
+// crossing predicates pair by pair. The loop is resilient to re-entrant
+// state mutations (suspension feedback triggered by emitted results): it
+// snapshots the state version and re-synchronizes on the last processed
+// sequence number when it changes.
+func (j *JoinOp) probeState(f *probeFrame, s, o *side, det *detectCtx, collect *[]*stream.Composite, fresh bool) {
+	j.ctr.Probes++
+	ver := o.st.Version()
+	i := o.st.IndexAfter(f.lastPartner)
+	for !f.parked {
+		if ver != o.st.Version() {
+			ver = o.st.Version()
+			i = o.st.IndexAfter(f.lastPartner)
+		}
+		if i >= o.st.Len() {
+			break
+		}
+		e := o.st.At(i)
+		i++
+		f.lastPartner = e.Seq
+		if f.done != nil && f.done[e.Seq] {
+			continue // pair already generated during this tuple's suspension
+		}
+		j.joinPair(f, s, e, det, collect, fresh)
+	}
+}
+
+// probeBlacklists performs the catch-up part of resumption: suspended
+// opposite tuples beyond the cursor are joined too, so that pairs whose
+// both endpoints were suspended are generated exactly once (DESIGN.md §2).
+func (j *JoinOp) probeBlacklists(f *probeFrame, o *side, cursor uint64, collect *[]*stream.Composite) {
+	for _, entry := range o.black.Entries() {
+		for i := range entry.Tuples {
+			susp := &entry.Tuples[i]
+			if f.parked {
+				return
+			}
+			if susp.E.Seq <= cursor {
+				continue
+			}
+			if susp.E.C.MinTS+j.window <= j.now {
+				continue
+			}
+			if f.done != nil && f.done[susp.E.Seq] {
+				continue
+			}
+			j.ctr.CatchUpJoins++
+			if j.joinPair(f, j.in[f.port], susp.E, nil, collect, false) {
+				// The pair is produced now, while the partner is still
+				// suspended; its own resumption must not regenerate it.
+				susp.MarkDone(f.seq)
+			}
+		}
+	}
+}
+
+// recordSuppressed parks a mark-suppressed pair (probing input f against
+// state entry e) in the covering origin entry's pending list, in left/right
+// order.
+func (j *JoinOp) recordSuppressed(f *probeFrame, e state.Entry, id uint64) {
+	oe := j.marks.EntryByID(id)
+	if oe == nil {
+		return
+	}
+	fe := state.Entry{C: f.input, Seq: f.seq}
+	if f.port == operator.Left {
+		j.marks.RecordSuppressed(oe, fe, e)
+	} else {
+		j.marks.RecordSuppressed(oe, e, fe)
+	}
+}
+
+// probePending generates the pairs recorded as uncovered at park time: for
+// each pending opposite sequence, locate the tuple in the opposite state or
+// blacklists (it may have resumed, still be suspended, or be gone) and join
+// it, respecting the Done dedup in both directions.
+func (j *JoinOp) probePending(f *probeFrame, o *side, pending []uint64, collect *[]*stream.Composite) {
+	for _, seq := range pending {
+		if f.parked {
+			return
+		}
+		if f.done != nil && f.done[seq] {
+			continue
+		}
+		// Look in the active state first.
+		i := o.st.IndexAfter(seq - 1)
+		if i < o.st.Len() {
+			if e := o.st.At(i); e.Seq == seq {
+				if e.C.MinTS+j.window > j.now {
+					j.ctr.CatchUpJoins++
+					j.joinPair(f, j.in[f.port], e, nil, collect, false)
+				}
+				continue
+			}
+		}
+		// Then in the blacklists.
+		for _, entry := range o.black.Entries() {
+			for k := range entry.Tuples {
+				susp := &entry.Tuples[k]
+				if susp.E.Seq != seq {
+					continue
+				}
+				if susp.IsDone(f.seq) || susp.E.C.MinTS+j.window <= j.now {
+					break
+				}
+				j.ctr.CatchUpJoins++
+				if j.joinPair(f, j.in[f.port], susp.E, nil, collect, false) {
+					susp.MarkDone(f.seq)
+				}
+				break
+			}
+		}
+	}
+}
+
+// probeInFlight joins a reactivated tuple with in-flight opposite inputs
+// whose scans have already passed its sequence slot (they resynchronize via
+// IndexAfter and would otherwise skip the reinserted tuple forever).
+func (j *JoinOp) probeInFlight(f *probeFrame, o *side, cursor uint64, collect *[]*stream.Composite) {
+	for _, g := range j.frames {
+		if g == f || g.parked || g.port != o.port {
+			continue
+		}
+		if g.seq <= cursor || g.lastPartner < f.seq {
+			// Covered by the cursor claim, or the in-flight scan has not
+			// reached this tuple's slot yet and will see it in the state.
+			continue
+		}
+		if f.done != nil && f.done[g.seq] {
+			continue
+		}
+		if g.done != nil && g.done[f.seq] {
+			continue
+		}
+		j.ctr.CatchUpJoins++
+		j.joinPair(f, j.in[f.port], state.Entry{C: g.input, Seq: g.seq}, nil, collect, false)
+	}
+}
+
+// joinPair evaluates one (input, partner) pair: mark suppression, predicate
+// evaluation (feeding the detection context), and result construction.
+func (j *JoinOp) joinPair(f *probeFrame, s *side, e state.Entry, det *detectCtx, collect *[]*stream.Composite, fresh bool) bool {
+	suppressedID := uint64(0)
+	if fresh && !j.marks.Empty() {
+		suppressedID = j.marks.SuppressedBy(f.input, e.C, 0)
+	}
+	if suppressedID != 0 && det == nil {
+		// No detection: skip the evaluation entirely (the point of
+		// mark-result suppression is saving this work) and park the pair
+		// for generation at unmark.
+		j.ctr.SuppressedPairs++
+		j.recordSuppressed(f, e, suppressedID)
+		return false
+	}
+	mask, full, n := j.evalAtoms(f.input, s, e.C, det != nil)
+	j.ctr.Comparisons += uint64(n)
+	if det != nil {
+		det.observe(j, mask, full)
+	}
+	if !full {
+		return false
+	}
+	if suppressedID != 0 {
+		j.ctr.SuppressedPairs++
+		j.recordSuppressed(f, e, suppressedID)
+		return false
+	}
+	f.fullMatch = true
+	r := stream.Join(f.input, e.C)
+	j.ctr.Results++
+	if !j.marks.Empty() {
+		j.ctr.Comparisons += uint64(j.marks.StampOutput(r))
+	}
+	if collect != nil {
+		*collect = append(*collect, r)
+		return true
+	}
+	j.emit(r)
+	return true
+}
+
+// emit delivers a result downstream. Emission may re-enter this operator
+// with feedback (the consumer processes the result immediately in the
+// pipelined engine and may detect an MNS on it).
+func (j *JoinOp) emit(r *stream.Composite) {
+	if j.consumer != nil {
+		j.consumer.Consume(r, j.outPort)
+	}
+}
+
+// evalAtoms evaluates the crossing predicates between input c (on side s)
+// and partner v, grouped by lattice atom. When detecting, every atom is
+// evaluated to produce the exact matched-atom mask; otherwise evaluation
+// short-circuits at the first failing atom, matching REF's nested-loop cost.
+func (j *JoinOp) evalAtoms(c *stream.Composite, s *side, v *stream.Composite, detecting bool) (mask uint32, full bool, comparisons int) {
+	full = true
+	for k := range s.atoms {
+		matched := true
+		for _, p := range s.atomPreds[k] {
+			comparisons++
+			if !p.Holds(c, v) {
+				matched = false
+				break
+			}
+		}
+		if matched {
+			if k < 32 {
+				mask |= 1 << uint(k)
+			}
+		} else {
+			full = false
+			if !detecting {
+				return mask, false, comparisons
+			}
+		}
+	}
+	return mask, full, comparisons
+}
+
+// purge applies window expiry to every stored structure, charging the work
+// to the Purged counter.
+func (j *JoinOp) purge() {
+	for p := 0; p < 2; p++ {
+		s := j.in[p]
+		purged := s.st.Purge(j.now, j.window)
+		j.ctr.Purged += uint64(purged)
+		if purged > 0 && s.blooms != nil {
+			j.bloomNoteDeletes(s, purged)
+		}
+		if j.mode.enabled() {
+			j.ctr.Purged += uint64(s.black.PurgeTuples(j.now, j.window))
+			s.buf.Purge(j.now)
+		}
+	}
+	if j.mode.enabled() && !j.marks.Empty() {
+		j.ctr.Purged += uint64(j.marks.PurgePending(j.now, j.window))
+	}
+}
+
+func (j *JoinOp) String() string {
+	return fmt.Sprintf("%s(%v⋈%v)", j.name, j.in[0].sources, j.in[1].sources)
+}

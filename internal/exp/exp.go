@@ -1,0 +1,404 @@
+// Package exp is the experiment harness reproducing the evaluation of
+// Sec. VI: one runner per figure (Figures 10-17), each sweeping one
+// parameter of Table III over the bushy or left-deep plans of Table II and
+// executing JIT and REF (optionally DOE and Bloom-JIT) on identical
+// workloads.
+//
+// Scaling: the paper runs each configuration for 5 hours of application
+// time on a 2008-era C++ prototype. Two dimensionless quantities shape the
+// figures and are both pinned by the paper's parameter choices: the number
+// of join partners each tuple accumulates (λ·w/dmax — how many NPRs exist
+// to suppress) and the probability that a suspended sub-tuple is ever
+// demanded again (∝ λ·w/dmax² — how often suppression is later undone).
+// Scaling w or dmax distorts one of the two, so the harness keeps w, λ and
+// dmax at their paper values and scales ONLY the application-time horizon:
+// Scale=1 runs the full 5 hours; smaller scales run max(5h·Scale, 2.5·w),
+// enough windows for steady-state behaviour while finishing in seconds per
+// point. Per-point work is unchanged; only the number of processed arrivals
+// shrinks, so the figures' shape (who wins, by what factor, and the trend
+// across the sweep) is preserved.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/predicate"
+	"repro/internal/source"
+	"repro/internal/stream"
+)
+
+// Params is one experiment configuration (a single run).
+type Params struct {
+	N      int
+	Bushy  bool
+	Window stream.Time
+	// Rate is λ, tuples per second per source.
+	Rate float64
+	// DMax is the value-domain upper bound.
+	DMax int64
+	// LastStreamFactor multiplies the last stream's domain (the paper's
+	// low-selectivity left-deep setup feeds stream D, or C when N=3, with
+	// values from [1..10²·dmax]). Zero means no override.
+	LastStreamFactor int64
+	// Horizon is the application-time length of the run.
+	Horizon stream.Time
+	Seed    int64
+	Mode    core.Mode
+}
+
+// Run executes the configuration and returns the measured results.
+func (p Params) Run() engine.Result {
+	cat, conj := predicate.Clique(p.N)
+	cfg := source.UniformConfig(p.N, p.Rate, p.DMax, p.Horizon, p.Seed)
+	if p.LastStreamFactor > 0 {
+		last := p.N - 1
+		spec := cfg.Specs[last]
+		spec.DMaxByCol = map[int]int64{}
+		for c := 0; c < p.N-1; c++ {
+			spec.DMaxByCol[c] = p.DMax * p.LastStreamFactor
+		}
+		cfg.Specs[last] = spec
+	}
+	arrivals := source.Generate(cat, cfg)
+	var shape *plan.Node
+	if p.Bushy {
+		shape = plan.Bushy(p.N)
+	} else {
+		shape = plan.LeftDeep(p.N)
+	}
+	b := plan.BuildTree(cat, conj, shape, plan.Options{Window: p.Window, Mode: p.Mode})
+	return engine.New(b).Run(arrivals)
+}
+
+// NamedMode pairs a label with an operator mode.
+type NamedMode struct {
+	Name string
+	Mode core.Mode
+}
+
+// DefaultModes is the paper's comparison: JIT vs REF.
+func DefaultModes() []NamedMode {
+	return []NamedMode{{"JIT", core.JIT()}, {"REF", core.REF()}}
+}
+
+// AblationModes adds the DOE and Bloom-detection variants.
+func AblationModes() []NamedMode {
+	return []NamedMode{
+		{"JIT", core.JIT()},
+		{"REF", core.REF()},
+		{"DOE", core.DOE()},
+		{"Bloom", core.BloomJIT()},
+	}
+}
+
+// Config drives a figure run.
+type Config struct {
+	// Scale shrinks the application-time horizon (see package doc).
+	Scale float64
+	// SizeScale, when in (0,1), scales the window AND dmax together. This
+	// preserves the partners-per-tuple ratio λ·w/dmax exactly while
+	// weakening demand rarity (λ·w/dmax²) by 1/SizeScale — acceptable down
+	// to about 0.3, where suspended tuples still overwhelmingly stay
+	// suspended. Used by the fast benchmark preset; full reproductions use
+	// SizeScale=1. Zero means 1.
+	SizeScale float64
+	Seed      int64
+	Modes     []NamedMode
+	// Horizon overrides the default 5-hour (scaled) application time when
+	// non-zero.
+	Horizon stream.Time
+}
+
+// DefaultConfig runs JIT vs REF at one-tenth horizon scale, seed 1.
+func DefaultConfig() Config {
+	return Config{Scale: 0.1, Seed: 1, Modes: DefaultModes()}
+}
+
+// QuickConfig is the fast preset used by the go-test benchmarks: windows
+// and domains at 30% size, horizon floored at 2.5 windows.
+func QuickConfig() Config {
+	return Config{Scale: 0.001, SizeScale: 0.3, Seed: 1, Modes: DefaultModes()}
+}
+
+func (c Config) sizeScale() float64 {
+	if c.SizeScale <= 0 || c.SizeScale > 1 {
+		return 1
+	}
+	return c.SizeScale
+}
+
+// sizeW scales a window per SizeScale.
+func (c Config) sizeW(w stream.Time) stream.Time {
+	return stream.Time(math.Round(float64(w) * c.sizeScale()))
+}
+
+// sizeD scales a domain per SizeScale.
+func (c Config) sizeD(d int64) int64 {
+	s := int64(math.Round(float64(d) * c.sizeScale()))
+	if s < 2 {
+		s = 2
+	}
+	return s
+}
+
+// horizonFor computes the application-time horizon for a run with the given
+// window: the scaled 5-hour horizon, floored at 2.5 windows so every run
+// reaches steady state.
+func (c Config) horizonFor(w stream.Time) stream.Time {
+	if c.Horizon > 0 {
+		return c.Horizon
+	}
+	h := stream.Time(math.Round(float64(5*stream.Hour) * c.Scale))
+	if min := w*5/2 + 1; h < min {
+		h = min
+	}
+	return h
+}
+
+// Point is one x-position of a figure with the per-mode results.
+type Point struct {
+	X       float64
+	Results map[string]engine.Result
+}
+
+// Figure is a reproduced evaluation figure: CPU and memory as a function of
+// one swept parameter, for each mode.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	Modes  []string
+	Points []Point
+}
+
+// runSweep executes the base params once per x-value and mode.
+func runSweep(cfg Config, id, title, xlabel string, xs []float64, mk func(x float64) Params) *Figure {
+	fig := &Figure{ID: id, Title: title, XLabel: xlabel}
+	for _, nm := range cfg.Modes {
+		fig.Modes = append(fig.Modes, nm.Name)
+	}
+	for _, x := range xs {
+		pt := Point{X: x, Results: make(map[string]engine.Result, len(cfg.Modes))}
+		for _, nm := range cfg.Modes {
+			p := mk(x)
+			p.Mode = nm.Mode
+			p.Seed = cfg.Seed
+			p.Window = cfg.sizeW(p.Window)
+			p.DMax = cfg.sizeD(p.DMax)
+			if p.Horizon == 0 {
+				p.Horizon = cfg.horizonFor(p.Window)
+			}
+			pt.Results[nm.Name] = p.Run()
+		}
+		fig.Points = append(fig.Points, pt)
+	}
+	return fig
+}
+
+// bushyBase returns the bushy-plan defaults of Table III (w=20min, λ=1,
+// N=6, dmax=200), scaled.
+func (c Config) bushyBase() Params {
+	return Params{
+		N:      6,
+		Bushy:  true,
+		Window: 20 * stream.Minute,
+		Rate:   1.0,
+		DMax:   200,
+	}
+}
+
+// leftDeepBase returns the left-deep defaults of Table III (w=10min, λ=1,
+// N=4, dmax=50, last stream fed from [1..10²·dmax]), scaled.
+func (c Config) leftDeepBase() Params {
+	return Params{
+		N:                4,
+		Bushy:            false,
+		Window:           10 * stream.Minute,
+		Rate:             1.0,
+		DMax:             50,
+		LastStreamFactor: 100,
+	}
+}
+
+// Fig10 reproduces Figure 10: overhead vs window size w (bushy plan).
+func Fig10(cfg Config) *Figure {
+	return runSweep(cfg, "fig10", "Overhead vs window size w (bushy plan)", "w (min)",
+		[]float64{10, 15, 20, 25, 30}, func(x float64) Params {
+			p := cfg.bushyBase()
+			p.Window = stream.Time(x * float64(stream.Minute))
+			return p
+		})
+}
+
+// Fig11 reproduces Figure 11: overhead vs stream rate λ (bushy plan).
+func Fig11(cfg Config) *Figure {
+	return runSweep(cfg, "fig11", "Overhead vs stream rate λ (bushy plan)", "λ (tuples/sec)",
+		[]float64{0.4, 0.7, 1.0, 1.3, 1.6}, func(x float64) Params {
+			p := cfg.bushyBase()
+			p.Rate = x
+			return p
+		})
+}
+
+// Fig12 reproduces Figure 12: overhead vs number of sources N (bushy plan).
+func Fig12(cfg Config) *Figure {
+	return runSweep(cfg, "fig12", "Overhead vs number of sources N (bushy plan)", "N",
+		[]float64{4, 5, 6, 7, 8}, func(x float64) Params {
+			p := cfg.bushyBase()
+			p.N = int(x)
+			return p
+		})
+}
+
+// Fig13 reproduces Figure 13: overhead vs max data value dmax (bushy plan).
+func Fig13(cfg Config) *Figure {
+	return runSweep(cfg, "fig13", "Overhead vs max data value dmax (bushy plan)", "dmax",
+		[]float64{100, 150, 200, 250, 300}, func(x float64) Params {
+			p := cfg.bushyBase()
+			p.DMax = int64(x)
+			return p
+		})
+}
+
+// Fig14 reproduces Figure 14: overhead vs window size w (left-deep plan).
+func Fig14(cfg Config) *Figure {
+	return runSweep(cfg, "fig14", "Overhead vs window size w (left-deep plan)", "w (min)",
+		[]float64{5, 7.5, 10, 12.5, 15}, func(x float64) Params {
+			p := cfg.leftDeepBase()
+			p.Window = stream.Time(x * float64(stream.Minute))
+			return p
+		})
+}
+
+// Fig15 reproduces Figure 15: overhead vs stream rate λ (left-deep plan).
+func Fig15(cfg Config) *Figure {
+	return runSweep(cfg, "fig15", "Overhead vs stream rate λ (left-deep)", "λ (tuples/sec)",
+		[]float64{0.4, 0.7, 1.0, 1.3, 1.6}, func(x float64) Params {
+			p := cfg.leftDeepBase()
+			p.Rate = x
+			return p
+		})
+}
+
+// Fig16 reproduces Figure 16: overhead vs number of sources N (left-deep).
+func Fig16(cfg Config) *Figure {
+	return runSweep(cfg, "fig16", "Overhead vs number of sources N (left-deep)", "N",
+		[]float64{3, 4, 5, 6}, func(x float64) Params {
+			p := cfg.leftDeepBase()
+			p.N = int(x)
+			return p
+		})
+}
+
+// Fig17 reproduces Figure 17: overhead vs max data value dmax (left-deep).
+func Fig17(cfg Config) *Figure {
+	return runSweep(cfg, "fig17", "Overhead vs max data value dmax (left-deep)", "dmax",
+		[]float64{30, 40, 50, 60, 70}, func(x float64) Params {
+			p := cfg.leftDeepBase()
+			p.DMax = int64(x)
+			return p
+		})
+}
+
+// All runs every figure.
+func All(cfg Config) []*Figure {
+	return []*Figure{
+		Fig10(cfg), Fig11(cfg), Fig12(cfg), Fig13(cfg),
+		Fig14(cfg), Fig15(cfg), Fig16(cfg), Fig17(cfg),
+	}
+}
+
+// ByID returns the runner for one figure id (10..17).
+func ByID(id int) (func(Config) *Figure, bool) {
+	m := map[int]func(Config) *Figure{
+		10: Fig10, 11: Fig11, 12: Fig12, 13: Fig13,
+		14: Fig14, 15: Fig15, 16: Fig16, 17: Fig17,
+	}
+	f, ok := m[id]
+	return f, ok
+}
+
+// Render prints the figure in the paper's two-panel structure: CPU cost and
+// peak memory per x-value and mode, plus the JIT/REF improvement factors.
+func (f *Figure) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", strings.ToUpper(f.ID), f.Title)
+	fmt.Fprintf(w, "%-12s", f.XLabel)
+	for _, m := range f.Modes {
+		fmt.Fprintf(w, " %14s %14s %12s", m+" cost", m+" cpu(ms)", m+" mem(KB)")
+	}
+	if f.hasModes("JIT", "REF") {
+		fmt.Fprintf(w, " %10s %10s", "cost ratio", "mem ratio")
+	}
+	fmt.Fprintln(w)
+	for _, pt := range f.Points {
+		fmt.Fprintf(w, "%-12.1f", pt.X)
+		for _, m := range f.Modes {
+			r := pt.Results[m]
+			fmt.Fprintf(w, " %14d %14.1f %12.1f", r.CostUnits, float64(r.WallTime.Microseconds())/1000, r.PeakMemKB)
+		}
+		if f.hasModes("JIT", "REF") {
+			jit, ref := pt.Results["JIT"], pt.Results["REF"]
+			fmt.Fprintf(w, " %10.2f %10.2f",
+				ratio(float64(ref.CostUnits), float64(jit.CostUnits)),
+				ratio(ref.PeakMemKB, jit.PeakMemKB))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func (f *Figure) hasModes(names ...string) bool {
+	set := map[string]bool{}
+	for _, m := range f.Modes {
+		set[m] = true
+	}
+	for _, n := range names {
+		if !set[n] {
+			return false
+		}
+	}
+	return true
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return math.Inf(1)
+	}
+	return a / b
+}
+
+// CheckShape verifies the reproduction contract for a JIT-vs-REF figure:
+// JIT never exceeds REF in cost units or peak memory, and both systems
+// produce identical result counts at every point. It returns a list of
+// violations (empty means the shape holds).
+func (f *Figure) CheckShape() []string {
+	var bad []string
+	for _, pt := range f.Points {
+		jit, okJ := pt.Results["JIT"]
+		ref, okR := pt.Results["REF"]
+		if !okJ || !okR {
+			continue
+		}
+		if jit.Results != ref.Results {
+			bad = append(bad, fmt.Sprintf("%s x=%.1f: result counts differ (JIT %d, REF %d)", f.ID, pt.X, jit.Results, ref.Results))
+		}
+		if jit.CostUnits > ref.CostUnits {
+			bad = append(bad, fmt.Sprintf("%s x=%.1f: JIT cost %d > REF %d", f.ID, pt.X, jit.CostUnits, ref.CostUnits))
+		}
+		if jit.PeakMemKB > ref.PeakMemKB*1.02 {
+			bad = append(bad, fmt.Sprintf("%s x=%.1f: JIT mem %.1f > REF %.1f", f.ID, pt.X, jit.PeakMemKB, ref.PeakMemKB))
+		}
+	}
+	return bad
+}
+
+// DefaultBushyParams exposes the Table III bushy defaults for tests.
+func DefaultBushyParams(cfg Config) Params { return cfg.bushyBase() }
+
+// DefaultLeftDeepParams exposes the Table III left-deep defaults for tests.
+func DefaultLeftDeepParams(cfg Config) Params { return cfg.leftDeepBase() }

@@ -1,0 +1,130 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// TestTableIIIDefaults verifies the harness encodes the paper's Table III
+// default parameters.
+func TestTableIIIDefaults(t *testing.T) {
+	cfg := Config{Scale: 1, Seed: 1, Modes: DefaultModes()}
+	b := DefaultBushyParams(cfg)
+	if b.N != 6 || !b.Bushy || b.Window != 20*stream.Minute || b.Rate != 1.0 || b.DMax != 200 {
+		t.Fatalf("bushy defaults wrong: %+v", b)
+	}
+	l := DefaultLeftDeepParams(cfg)
+	if l.N != 4 || l.Bushy || l.Window != 10*stream.Minute || l.Rate != 1.0 || l.DMax != 50 || l.LastStreamFactor != 100 {
+		t.Fatalf("left-deep defaults wrong: %+v", l)
+	}
+}
+
+func TestHorizonScaling(t *testing.T) {
+	cfg := Config{Scale: 1}
+	if h := cfg.horizonFor(20 * stream.Minute); h != 5*stream.Hour {
+		t.Fatalf("full scale horizon: %v", h)
+	}
+	cfg.Scale = 0.001
+	if h := cfg.horizonFor(20 * stream.Minute); h < 50*stream.Minute {
+		t.Fatalf("floor not applied: %v", h)
+	}
+	cfg.Horizon = 7 * stream.Minute
+	if h := cfg.horizonFor(20 * stream.Minute); h != 7*stream.Minute {
+		t.Fatalf("override ignored: %v", h)
+	}
+}
+
+func TestByID(t *testing.T) {
+	for id := 10; id <= 17; id++ {
+		if _, ok := ByID(id); !ok {
+			t.Fatalf("figure %d missing", id)
+		}
+	}
+	if _, ok := ByID(9); ok {
+		t.Fatal("phantom figure")
+	}
+}
+
+// TestSmallSweepShape runs a reduced Figure-10-style sweep and verifies the
+// reproduction contract at the quick preset: equal result counts everywhere
+// and JIT at or below REF on cost and memory for the sweep's lower points
+// (the quick preset intentionally weakens demand-rarity at the largest
+// windows; the full-parameter runs recorded in EXPERIMENTS.md hold at every
+// point).
+func TestSmallSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is seconds-long")
+	}
+	cfg := QuickConfig()
+	fig := runSweep(cfg, "figX", "reduced fig10", "w (min)",
+		[]float64{10, 15, 20}, func(x float64) Params {
+			p := cfg.bushyBase()
+			p.Window = stream.Time(x * float64(stream.Minute))
+			return p
+		})
+	// The quick preset weakens demand rarity (see Config.SizeScale), so JIT
+	// is allowed a small bookkeeping overhead at the largest point; result
+	// counts must be identical everywhere.
+	for _, pt := range fig.Points {
+		jit, ref := pt.Results["JIT"], pt.Results["REF"]
+		if jit.Results != ref.Results {
+			t.Errorf("x=%.0f: result counts differ (JIT %d, REF %d)", pt.X, jit.Results, ref.Results)
+		}
+		if float64(jit.CostUnits) > 1.25*float64(ref.CostUnits) {
+			t.Errorf("x=%.0f: JIT cost %d far above REF %d", pt.X, jit.CostUnits, ref.CostUnits)
+		}
+	}
+	var sb strings.Builder
+	fig.Render(&sb)
+	if !strings.Contains(sb.String(), "cost ratio") {
+		t.Fatal("render missing ratio columns")
+	}
+}
+
+// TestAblationCorrectness runs all four modes on one small configuration
+// and checks they agree on the result count.
+func TestAblationCorrectness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four engines")
+	}
+	base := Params{
+		N: 4, Bushy: true,
+		Window: 90 * stream.Second, Rate: 1.0, DMax: 20,
+		Horizon: 5 * stream.Minute, Seed: 5,
+	}
+	var counts []uint64
+	for _, nm := range AblationModes() {
+		p := base
+		p.Mode = nm.Mode
+		r := p.Run()
+		counts = append(counts, r.Results)
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] != counts[0] {
+			t.Fatalf("mode %d result count %d != %d", i, counts[i], counts[0])
+		}
+	}
+}
+
+// TestREFMatchesDOEWithNoEmptyStates checks that DOE only diverges from REF
+// through Ø suspensions, which cannot fire once all states are populated:
+// with a warm, dense workload the two cost profiles stay close.
+func TestREFMatchesDOEWithNoEmptyStates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two engines")
+	}
+	base := Params{
+		N: 3, Bushy: false,
+		Window: 60 * stream.Second, Rate: 2.0, DMax: 5,
+		Horizon: 4 * stream.Minute, Seed: 3,
+	}
+	ref, doe := base, base
+	ref.Mode, doe.Mode = core.REF(), core.DOE()
+	r1, r2 := ref.Run(), doe.Run()
+	if r1.Results != r2.Results {
+		t.Fatalf("result counts differ: %d vs %d", r1.Results, r2.Results)
+	}
+}

@@ -1,0 +1,295 @@
+package feedback
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/predicate"
+	"repro/internal/state"
+	"repro/internal/stream"
+)
+
+// Suspended is one tuple parked in a blacklist entry: the composite with
+// its stable sequence number, plus the cursor recording the opposite side's
+// watermark up to which it has already been joined. Resumption joins it
+// with opposite tuples whose sequence exceeds Cursor — exactly the results
+// that were suppressed (DESIGN.md §2).
+type Suspended struct {
+	E      state.Entry
+	Cursor uint64
+	// Done records opposite-side sequence numbers beyond Cursor whose pairs
+	// were already generated while this tuple was suspended: when another
+	// tuple's resumption catch-up scans the blacklists and joins this one,
+	// the pair must not be regenerated at this tuple's own resumption.
+	Done map[uint64]bool
+	// Pending lists opposite-side sequence numbers at or below Cursor whose
+	// pairs were NOT actually joined despite the cursor claim: opposite
+	// tuples that were suspended (with their own scans short of this tuple)
+	// when this tuple was parked from the state. Resumption processes them
+	// explicitly, deduplicated against Done.
+	Pending []uint64
+}
+
+// MarkDone records that the pair with the given opposite sequence was
+// generated while suspended.
+func (s *Suspended) MarkDone(oppSeq uint64) {
+	if s.Done == nil {
+		s.Done = make(map[uint64]bool, 2)
+	}
+	s.Done[oppSeq] = true
+}
+
+// IsDone reports whether the pair with the given opposite sequence was
+// already generated.
+func (s *Suspended) IsDone(oppSeq uint64) bool { return s.Done != nil && s.Done[oppSeq] }
+
+// Entry is one blacklist entry: an MNS and the suspended super-tuples
+// (including same-signature generalizations such as a2 under a1's entry).
+type Entry struct {
+	MNS    *MNS
+	Tuples []Suspended
+}
+
+// Blacklist is the producer-side store of suspended tuples for one input
+// side of a join (B_L or B_R in the paper). Entries share the side's
+// sequence space with the active state, so cursors are totally ordered.
+type Blacklist struct {
+	name    string
+	acct    *metrics.Account
+	entries []*Entry
+	byKey   map[string]*Entry
+	// groups index entries by their signature's attribute set, with a hash
+	// on the value fingerprint inside each group, so MatchArrival is O(#
+	// attribute sets) instead of O(# entries) — the hash-table organization
+	// the paper prescribes for the blacklist (Sec. IV-B).
+	groups map[string]*sigGroup
+	empty  *Entry // the Ø entry, matching every arrival
+}
+
+// sigGroup is the per-attribute-set hash of entries.
+type sigGroup struct {
+	attrs []predicate.Attr
+	byVal map[string]*Entry
+}
+
+// groupKeyOf renders an attribute set canonically.
+func groupKeyOf(sig Signature) string {
+	parts := make([]string, len(sig))
+	for i, e := range sig {
+		parts[i] = fmt.Sprintf("%d.%d", e.Attr.Source, e.Attr.Col)
+	}
+	return strings.Join(parts, ";")
+}
+
+// valKeyOf renders the value fingerprint of a composite on the group's
+// attribute set; ok is false when the composite lacks one of the sources.
+func valKeyOf(attrs []predicate.Attr, c *stream.Composite) (string, bool) {
+	var b strings.Builder
+	for i, a := range attrs {
+		t := c.Comp(a.Source)
+		if t == nil {
+			return "", false
+		}
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, "%d", t.Vals[a.Col])
+	}
+	return b.String(), true
+}
+
+func sigValKey(sig Signature) string {
+	parts := make([]string, len(sig))
+	for i, e := range sig {
+		parts[i] = fmt.Sprintf("%d", e.Val)
+	}
+	return strings.Join(parts, ";")
+}
+
+// NewBlacklist creates an empty blacklist charging memory to acct.
+func NewBlacklist(name string, acct *metrics.Account) *Blacklist {
+	return &Blacklist{name: name, acct: acct, byKey: make(map[string]*Entry), groups: make(map[string]*sigGroup)}
+}
+
+// Len returns the number of entries.
+func (b *Blacklist) Len() int { return len(b.entries) }
+
+// NumSuspended returns the total number of parked tuples.
+func (b *Blacklist) NumSuspended() int {
+	n := 0
+	for _, e := range b.entries {
+		n += len(e.Tuples)
+	}
+	return n
+}
+
+// Entry returns the entry covering the given signature key, if any.
+func (b *Blacklist) Entry(key string) (*Entry, bool) {
+	e, ok := b.byKey[key]
+	return e, ok
+}
+
+// Ensure returns the entry for m's signature, creating it when absent. When
+// an entry already exists its expiry is extended to the later of the two —
+// the producer "simply ignores" duplicate suspensions (Sec. III-B) but must
+// not forget the anchor.
+func (b *Blacklist) Ensure(m *MNS) (e *Entry, created bool) {
+	if old, ok := b.byKey[m.Key()]; ok {
+		if m.Expiry > old.MNS.Expiry {
+			old.MNS.Expiry = m.Expiry
+		}
+		return old, false
+	}
+	e = &Entry{MNS: m}
+	b.entries = append(b.entries, e)
+	b.byKey[m.Key()] = e
+	b.index(e)
+	b.acct.Alloc(m.SizeBytes())
+	return e, true
+}
+
+func (b *Blacklist) index(e *Entry) {
+	if e.MNS.IsEmpty() {
+		b.empty = e
+		return
+	}
+	gk := groupKeyOf(e.MNS.Sig)
+	g := b.groups[gk]
+	if g == nil {
+		attrs := make([]predicate.Attr, len(e.MNS.Sig))
+		for i, s := range e.MNS.Sig {
+			attrs[i] = s.Attr
+		}
+		g = &sigGroup{attrs: attrs, byVal: make(map[string]*Entry)}
+		b.groups[gk] = g
+	}
+	g.byVal[sigValKey(e.MNS.Sig)] = e
+}
+
+func (b *Blacklist) unindex(e *Entry) {
+	if e.MNS.IsEmpty() {
+		if b.empty == e {
+			b.empty = nil
+		}
+		return
+	}
+	if g := b.groups[groupKeyOf(e.MNS.Sig)]; g != nil {
+		delete(g.byVal, sigValKey(e.MNS.Sig))
+	}
+}
+
+// Park adds a suspended tuple under entry e, charging its storage.
+func (b *Blacklist) Park(e *Entry, s Suspended) {
+	e.Tuples = append(e.Tuples, s)
+	b.acct.Alloc(s.E.C.DeepSizeBytes())
+}
+
+// MatchArrival checks a freshly arriving composite against every entry.
+// On a hit the arrival should be diverted straight into that entry (the a2
+// fast path); comparisons are reported for cost accounting. With generalize
+// set, matching is by value signature (any tuple with the same join
+// attributes); otherwise only exact super-tuples of the anchor match.
+// Entries whose anchor has expired are skipped (they are about to be
+// reactivated by the sweep).
+func (b *Blacklist) MatchArrival(c *stream.Composite, now stream.Time, generalize bool) (hit *Entry, comparisons int) {
+	if b.empty != nil && b.empty.MNS.Expiry > now {
+		return b.empty, comparisons
+	}
+	for _, g := range b.groups {
+		comparisons += len(g.attrs)
+		key, ok := valKeyOf(g.attrs, c)
+		if !ok {
+			continue
+		}
+		e := g.byVal[key]
+		if e == nil || e.MNS.Expiry <= now {
+			continue
+		}
+		if !generalize && (e.MNS.Anchor == nil || !e.MNS.Anchor.IsSubTuple(c)) {
+			continue
+		}
+		return e, comparisons
+	}
+	return nil, comparisons
+}
+
+// Take removes and returns the entry with the given signature key (resume).
+func (b *Blacklist) Take(key string) (*Entry, bool) {
+	e, ok := b.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	b.remove(e)
+	return e, true
+}
+
+// TakeExpired removes and returns every entry whose anchor MNS has expired.
+// Callers must reactivate the surviving tuples (DESIGN.md: expiry sweep).
+func (b *Blacklist) TakeExpired(now stream.Time) []*Entry {
+	var out []*Entry
+	for _, e := range append([]*Entry(nil), b.entries...) {
+		if e.MNS.Expiry <= now {
+			b.remove(e)
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// PurgeTuples drops expired tuples inside every entry and returns the count.
+func (b *Blacklist) PurgeTuples(now, window stream.Time) int {
+	n := 0
+	for _, e := range b.entries {
+		kept := e.Tuples[:0]
+		for _, s := range e.Tuples {
+			if s.E.C.MinTS+window <= now {
+				b.acct.Free(s.E.C.DeepSizeBytes())
+				n++
+				continue
+			}
+			kept = append(kept, s)
+		}
+		for i := len(kept); i < len(e.Tuples); i++ {
+			e.Tuples[i] = Suspended{}
+		}
+		e.Tuples = kept
+	}
+	return n
+}
+
+// ReleaseTuples uncharges the storage of an entry's tuples; called when the
+// tuples are being reinserted into the active state (which re-charges them).
+func (b *Blacklist) ReleaseTuples(e *Entry) {
+	for _, s := range e.Tuples {
+		b.acct.Free(s.E.C.DeepSizeBytes())
+	}
+}
+
+// HasExpired reports whether any entry's anchor has expired — a cheap check
+// the expiry sweep uses before doing real work.
+func (b *Blacklist) HasExpired(now stream.Time) bool {
+	for _, e := range b.entries {
+		if e.MNS.Expiry <= now {
+			return true
+		}
+	}
+	return false
+}
+
+// Entries returns a snapshot of the entries, for tests.
+func (b *Blacklist) Entries() []*Entry { return append([]*Entry(nil), b.entries...) }
+
+func (b *Blacklist) remove(e *Entry) {
+	b.unindex(e)
+	delete(b.byKey, e.MNS.Key())
+	b.acct.Free(e.MNS.SizeBytes())
+	for i, x := range b.entries {
+		if x == e {
+			copy(b.entries[i:], b.entries[i+1:])
+			b.entries[len(b.entries)-1] = nil
+			b.entries = b.entries[:len(b.entries)-1]
+			return
+		}
+	}
+}

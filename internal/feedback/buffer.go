@@ -1,0 +1,246 @@
+package feedback
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/predicate"
+	"repro/internal/stream"
+)
+
+// Buffer is the consumer-side MNS buffer of Sec. III-A: detected MNSs are
+// held until they expire or a matching partner arrives on the opposite
+// input, at which point they are removed and a resumption feedback is sent.
+//
+// One Buffer exists per join input side; it stores MNSs detected on inputs
+// of that side and is probed by arrivals on the opposite side.
+type Buffer struct {
+	name    string
+	acct    *metrics.Account
+	entries []*MNS
+	byKey   map[string]*MNS
+	// groups index MNSs by the opposite-side attributes their predicates
+	// test, hashing the expected values, so probing an arrival is O(#
+	// attribute sets) — the hash organization the paper suggests for the
+	// MNS buffer (Sec. III-A).
+	groups map[string]*probeGroup
+	empty  *MNS // Ø, matched by every opposite arrival
+}
+
+// probeGroup hashes MNSs sharing one opposite-attribute set.
+type probeGroup struct {
+	attrs []predicate.Attr // opposite-side attributes, probe key order
+	byVal map[string][]*MNS
+}
+
+// probeKey derives the opposite attributes and expected values of an MNS
+// from its predicates, in canonical order.
+func probeKey(m *MNS) (attrs []predicate.Attr, vals []stream.Value) {
+	type av struct {
+		a predicate.Attr
+		v stream.Value
+	}
+	list := make([]av, 0, len(m.Preds))
+	for _, p := range m.Preds {
+		var sigAttr, oppAttr predicate.Attr
+		if m.Sources.Has(p.Left) {
+			sigAttr = predicate.Attr{Source: p.Left, Col: p.LCol}
+			oppAttr = predicate.Attr{Source: p.Right, Col: p.RCol}
+		} else {
+			sigAttr = predicate.Attr{Source: p.Right, Col: p.RCol}
+			oppAttr = predicate.Attr{Source: p.Left, Col: p.LCol}
+		}
+		list = append(list, av{oppAttr, m.sigVal(sigAttr)})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].a.Source != list[j].a.Source {
+			return list[i].a.Source < list[j].a.Source
+		}
+		if list[i].a.Col != list[j].a.Col {
+			return list[i].a.Col < list[j].a.Col
+		}
+		return list[i].v < list[j].v
+	})
+	for _, e := range list {
+		attrs = append(attrs, e.a)
+		vals = append(vals, e.v)
+	}
+	return attrs, vals
+}
+
+func attrsKey(attrs []predicate.Attr) string {
+	parts := make([]string, len(attrs))
+	for i, a := range attrs {
+		parts[i] = fmt.Sprintf("%d.%d", a.Source, a.Col)
+	}
+	return strings.Join(parts, ";")
+}
+
+func valsKey(vals []stream.Value) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	return strings.Join(parts, ";")
+}
+
+// NewBuffer creates an empty MNS buffer charging memory to acct.
+func NewBuffer(name string, acct *metrics.Account) *Buffer {
+	return &Buffer{name: name, acct: acct, byKey: make(map[string]*MNS), groups: make(map[string]*probeGroup)}
+}
+
+// Len returns the number of buffered MNSs.
+func (b *Buffer) Len() int { return len(b.entries) }
+
+// Has reports whether an MNS with the same signature is already buffered —
+// used by the consumer to avoid re-sending suspension feedback for
+// sub-tuples that are already covered (queued super-tuples, Sec. III-B).
+func (b *Buffer) Has(key string) bool {
+	_, ok := b.byKey[key]
+	return ok
+}
+
+// Add inserts an MNS. If an MNS with the same signature is present, the one
+// with the later expiry wins and the other is dropped; the retained
+// descriptor is returned along with whether the buffer changed.
+func (b *Buffer) Add(m *MNS) (kept *MNS, added bool) {
+	if old, ok := b.byKey[m.Key()]; ok {
+		if m.Expiry > old.Expiry {
+			old.Expiry = m.Expiry
+		}
+		return old, false
+	}
+	b.entries = append(b.entries, m)
+	b.byKey[m.Key()] = m
+	b.index(m)
+	b.acct.Alloc(m.SizeBytes())
+	return m, true
+}
+
+func (b *Buffer) index(m *MNS) {
+	if m.IsEmpty() {
+		b.empty = m
+		return
+	}
+	attrs, vals := probeKey(m)
+	gk := attrsKey(attrs)
+	g := b.groups[gk]
+	if g == nil {
+		g = &probeGroup{attrs: attrs, byVal: make(map[string][]*MNS)}
+		b.groups[gk] = g
+	}
+	vk := valsKey(vals)
+	g.byVal[vk] = append(g.byVal[vk], m)
+}
+
+func (b *Buffer) unindex(m *MNS) {
+	if m.IsEmpty() {
+		if b.empty == m {
+			b.empty = nil
+		}
+		return
+	}
+	attrs, vals := probeKey(m)
+	g := b.groups[attrsKey(attrs)]
+	if g == nil {
+		return
+	}
+	vk := valsKey(vals)
+	list := g.byVal[vk]
+	for i, x := range list {
+		if x == m {
+			list = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(g.byVal, vk)
+	} else {
+		g.byVal[vk] = list
+	}
+}
+
+// Purge drops expired MNSs and returns how many were removed.
+func (b *Buffer) Purge(now stream.Time) int {
+	kept := b.entries[:0]
+	n := 0
+	for _, m := range b.entries {
+		if m.Expiry <= now {
+			delete(b.byKey, m.Key())
+			b.unindex(m)
+			b.acct.Free(m.SizeBytes())
+			n++
+			continue
+		}
+		kept = append(kept, m)
+	}
+	for i := len(kept); i < len(b.entries); i++ {
+		b.entries[i] = nil
+	}
+	b.entries = kept
+	return n
+}
+
+// Probe finds every buffered MNS matched by the arriving opposite-side
+// composite t, removes them from the buffer, and returns them (the Π set of
+// Process_Input). The comparison count is returned for cost accounting.
+func (b *Buffer) Probe(t *stream.Composite) (matched []*MNS, comparisons int) {
+	if b.empty != nil {
+		matched = append(matched, b.empty)
+	}
+	for _, g := range b.groups {
+		comparisons += len(g.attrs)
+		key, ok := compositeValsKey(g.attrs, t)
+		if !ok {
+			continue
+		}
+		matched = append(matched, g.byVal[key]...)
+	}
+	if len(matched) == 0 {
+		return nil, comparisons
+	}
+	for _, m := range matched {
+		delete(b.byKey, m.Key())
+		b.unindex(m)
+		b.acct.Free(m.SizeBytes())
+	}
+	kept := b.entries[:0]
+	taken := make(map[*MNS]bool, len(matched))
+	for _, m := range matched {
+		taken[m] = true
+	}
+	for _, m := range b.entries {
+		if taken[m] {
+			continue
+		}
+		kept = append(kept, m)
+	}
+	for i := len(kept); i < len(b.entries); i++ {
+		b.entries[i] = nil
+	}
+	b.entries = kept
+	return matched, comparisons
+}
+
+// compositeValsKey renders t's values at the given attributes; ok is false
+// when t lacks one of the sources (the predicate cannot be confirmed, so
+// the MNS is not matched — same semantics as MNS.MatchedByOpposite).
+func compositeValsKey(attrs []predicate.Attr, t *stream.Composite) (string, bool) {
+	var sb strings.Builder
+	for i, a := range attrs {
+		c := t.Comp(a.Source)
+		if c == nil {
+			return "", false
+		}
+		if i > 0 {
+			sb.WriteByte(';')
+		}
+		fmt.Fprintf(&sb, "%d", c.Vals[a.Col])
+	}
+	return sb.String(), true
+}
+
+// Snapshot returns the buffered MNSs, for tests.
+func (b *Buffer) Snapshot() []*MNS { return append([]*MNS(nil), b.entries...) }

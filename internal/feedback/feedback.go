@@ -1,0 +1,218 @@
+// Package feedback defines the JIT feedback protocol between consumer and
+// producer operators (Sec. III-A, IV): MNS descriptors with value
+// signatures, feedback messages (suspend / resume / mark / unmark), the
+// consumer-side MNS buffer, and the producer-side blacklist and mark table.
+package feedback
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/predicate"
+	"repro/internal/stream"
+)
+
+// Command is the kind of a feedback message.
+type Command int
+
+// Feedback commands. Suspend/Resume drive Type I dynamic production
+// control; Mark/Unmark implement the mark-result protocol for Type II MNSs.
+const (
+	Suspend Command = iota
+	Resume
+	Mark
+	Unmark
+)
+
+func (c Command) String() string {
+	switch c {
+	case Suspend:
+		return "suspend"
+	case Resume:
+		return "resume"
+	case Mark:
+		return "mark"
+	case Unmark:
+		return "unmark"
+	}
+	return "?"
+}
+
+// SigEntry is one (source, column) = value constraint of an MNS signature.
+type SigEntry struct {
+	Attr predicate.Attr
+	Val  stream.Value
+}
+
+// Signature is the value fingerprint of an MNS: the values of the MNS
+// components on exactly the columns that appear in the detecting consumer's
+// join predicate. Two sub-tuples with equal signatures are interchangeable
+// for demand purposes — this is what lets the producer suspend a2 after a1
+// (Sec. IV-B). Entries are kept sorted for canonical comparison.
+type Signature []SigEntry
+
+// Canon returns a canonical string form, used to deduplicate MNSs that
+// cover the same value pattern.
+func (s Signature) Canon() string {
+	parts := make([]string, len(s))
+	for i, e := range s {
+		parts[i] = fmt.Sprintf("%d.%d=%d", e.Attr.Source, e.Attr.Col, e.Val)
+	}
+	return strings.Join(parts, ";")
+}
+
+// MatchedBy reports whether composite c contains a sub-tuple with this
+// signature: c must cover every signatured source and agree on every value.
+func (s Signature) MatchedBy(c *stream.Composite) bool {
+	for _, e := range s {
+		t := c.Comp(e.Attr.Source)
+		if t == nil || t.Vals[e.Attr.Col] != e.Val {
+			return false
+		}
+	}
+	return true
+}
+
+// Sources returns the set of sources constrained by the signature.
+func (s Signature) Sources() stream.SourceSet {
+	var set stream.SourceSet
+	for _, e := range s {
+		set = set.Add(e.Attr.Source)
+	}
+	return set
+}
+
+// Restrict returns the sub-signature whose sources lie in set.
+func (s Signature) Restrict(set stream.SourceSet) Signature {
+	var out Signature
+	for _, e := range s {
+		if set.Has(e.Attr.Source) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// SizeBytes estimates the signature's memory footprint.
+func (s Signature) SizeBytes() int64 { return 24 + int64(len(s))*24 }
+
+// MakeSignature builds the signature of sub-tuple comps (indexed by source)
+// for the given join attributes.
+func MakeSignature(attrs []predicate.Attr, comp func(stream.SourceID) *stream.Tuple) Signature {
+	sig := make(Signature, 0, len(attrs))
+	for _, a := range attrs {
+		t := comp(a.Source)
+		if t == nil {
+			continue
+		}
+		sig = append(sig, SigEntry{Attr: a, Val: t.Vals[a.Col]})
+	}
+	sort.Slice(sig, func(i, j int) bool {
+		if sig[i].Attr.Source != sig[j].Attr.Source {
+			return sig[i].Attr.Source < sig[j].Attr.Source
+		}
+		return sig[i].Attr.Col < sig[j].Attr.Col
+	})
+	return sig
+}
+
+// NoExpiry marks an MNS that never times out (the empty MNS Ø).
+const NoExpiry = stream.Time(1) << 62
+
+// MNS is a minimal non-demanded sub-tuple as communicated in feedback.
+type MNS struct {
+	// ID is unique per detection; mark entries reuse it as the mark id.
+	ID uint64
+	// Sources is the set of sources the MNS spans; empty for Ø.
+	Sources stream.SourceSet
+	// Sig is the value signature. Empty for Ø.
+	Sig Signature
+	// Preds are the consumer-side predicates linking the MNS sources to the
+	// consumer's opposite input, used to probe arrivals against the buffer.
+	Preds predicate.Conj
+	// Expiry is when the anchor sub-tuple leaves the window; after this the
+	// consumer forgets the MNS and the producer must reactivate survivors.
+	Expiry stream.Time
+	// Anchor is the concrete sub-tuple the MNS was detected on; used for
+	// exact (identity) matching when signature generalization is disabled.
+	// Nil for Ø.
+	Anchor *stream.Composite
+}
+
+// IsEmpty reports whether this is the empty MNS Ø (total suspension / DOE).
+func (m *MNS) IsEmpty() bool { return m.Sources.Empty() }
+
+// Key returns the canonical dedup key (signature-based; Ø has the empty key).
+func (m *MNS) Key() string { return m.Sig.Canon() }
+
+// MatchedByOpposite reports whether an arriving opposite-side composite t
+// satisfies every predicate linking the MNS to the opposite input — the MNS
+// buffer probe. Ø is matched by anything.
+func (m *MNS) MatchedByOpposite(t *stream.Composite) (ok bool, comparisons int) {
+	if m.IsEmpty() {
+		return true, 0
+	}
+	for _, p := range m.Preds {
+		// Resolve the MNS-side value from the signature and the opposite
+		// value from t.
+		var sigAttr predicate.Attr
+		var oppAttr predicate.Attr
+		if m.Sources.Has(p.Left) {
+			sigAttr = predicate.Attr{Source: p.Left, Col: p.LCol}
+			oppAttr = predicate.Attr{Source: p.Right, Col: p.RCol}
+		} else {
+			sigAttr = predicate.Attr{Source: p.Right, Col: p.RCol}
+			oppAttr = predicate.Attr{Source: p.Left, Col: p.LCol}
+		}
+		ot := t.Comp(oppAttr.Source)
+		if ot == nil {
+			// The opposite input does not carry this source (possible in
+			// half-join paths); the predicate cannot be confirmed yet, so
+			// the MNS is not considered matched.
+			return false, comparisons
+		}
+		comparisons++
+		if ot.Vals[oppAttr.Col] != m.sigVal(sigAttr) {
+			return false, comparisons
+		}
+	}
+	return true, comparisons
+}
+
+func (m *MNS) sigVal(a predicate.Attr) stream.Value {
+	for _, e := range m.Sig {
+		if e.Attr == a {
+			return e.Val
+		}
+	}
+	// A predicate references an attribute outside the signature only if the
+	// MNS was constructed inconsistently; fail loudly.
+	panic(fmt.Sprintf("feedback: MNS %d has no signature value for %v", m.ID, a))
+}
+
+// SizeBytes estimates the MNS descriptor's footprint.
+func (m *MNS) SizeBytes() int64 {
+	return 64 + m.Sig.SizeBytes() + int64(len(m.Preds))*32
+}
+
+func (m *MNS) String() string {
+	if m.IsEmpty() {
+		return "Ø"
+	}
+	return fmt.Sprintf("mns%d<%s>", m.ID, m.Sig.Canon())
+}
+
+// Message is one feedback message sent from a consumer to a producer.
+type Message struct {
+	Cmd Command
+	MNS []*MNS
+}
+
+func (f Message) String() string {
+	parts := make([]string, len(f.MNS))
+	for i, m := range f.MNS {
+		parts[i] = m.String()
+	}
+	return fmt.Sprintf("<%s, {%s}>", f.Cmd, strings.Join(parts, ","))
+}

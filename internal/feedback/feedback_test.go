@@ -1,0 +1,293 @@
+package feedback
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/predicate"
+	"repro/internal/state"
+	"repro/internal/stream"
+)
+
+func tpl(src stream.SourceID, ts stream.Time, vals ...stream.Value) *stream.Tuple {
+	return &stream.Tuple{ID: uint64(ts), Source: src, TS: ts, Vals: vals}
+}
+
+func comp(n int, t *stream.Tuple) *stream.Composite { return stream.NewComposite(n, t) }
+
+func mnsA(val stream.Value, expiry stream.Time) *MNS {
+	attr := predicate.Attr{Source: 0, Col: 1}
+	c := comp(3, tpl(0, 1, 0, val))
+	return &MNS{
+		ID:      1,
+		Sources: stream.SourceSet(0).Add(0),
+		Sig:     Signature{{Attr: attr, Val: val}},
+		Preds:   predicate.Conj{{Left: 0, LCol: 1, Right: 2, RCol: 0}},
+		Expiry:  expiry,
+		Anchor:  c,
+	}
+}
+
+func TestSignatureMatching(t *testing.T) {
+	sig := Signature{{Attr: predicate.Attr{Source: 0, Col: 1}, Val: 100}}
+	match := comp(3, tpl(0, 5, 0, 100))
+	miss := comp(3, tpl(0, 5, 0, 99))
+	other := comp(3, tpl(1, 5, 100))
+	if !sig.MatchedBy(match) || sig.MatchedBy(miss) || sig.MatchedBy(other) {
+		t.Fatal("signature matching wrong")
+	}
+	if sig.Canon() != "0.1=100" {
+		t.Fatalf("canon: %q", sig.Canon())
+	}
+	if sig.Sources().Count() != 1 {
+		t.Fatal("sources wrong")
+	}
+	r := sig.Restrict(stream.SourceSet(0).Add(1))
+	if len(r) != 0 {
+		t.Fatal("restrict to foreign set must be empty")
+	}
+}
+
+func TestMNSMatchedByOpposite(t *testing.T) {
+	m := mnsA(100, 1000)
+	hit := comp(3, tpl(2, 7, 100))
+	miss := comp(3, tpl(2, 7, 50))
+	if ok, _ := m.MatchedByOpposite(hit); !ok {
+		t.Fatal("partner should match")
+	}
+	if ok, _ := m.MatchedByOpposite(miss); ok {
+		t.Fatal("non-partner matched")
+	}
+	// Missing opposite source → not matched.
+	noSrc := comp(3, tpl(1, 7, 100))
+	if ok, _ := m.MatchedByOpposite(noSrc); ok {
+		t.Fatal("missing source must not match")
+	}
+	// Ø matches anything.
+	empty := &MNS{ID: 9, Expiry: NoExpiry}
+	if ok, _ := empty.MatchedByOpposite(noSrc); !ok {
+		t.Fatal("Ø must match everything")
+	}
+}
+
+func TestBufferAddDedupPurgeProbe(t *testing.T) {
+	acct := &metrics.Account{}
+	b := NewBuffer("NB", acct)
+	m1 := mnsA(100, 1000)
+	kept, added := b.Add(m1)
+	if !added || kept != m1 || b.Len() != 1 {
+		t.Fatal("first add failed")
+	}
+	// Same signature, later expiry → dedup with extension.
+	m2 := mnsA(100, 2000)
+	kept, added = b.Add(m2)
+	if added || kept != m1 || m1.Expiry != 2000 {
+		t.Fatal("dedup/extension failed")
+	}
+	if !b.Has(m1.Key()) {
+		t.Fatal("Has failed")
+	}
+	// Probe with matching partner removes it.
+	hit := comp(3, tpl(2, 7, 100))
+	matched, _ := b.Probe(hit)
+	if len(matched) != 1 || b.Len() != 0 || acct.Live() != 0 {
+		t.Fatalf("probe: matched=%d len=%d live=%d", len(matched), b.Len(), acct.Live())
+	}
+	// Expired MNSs are purged.
+	b.Add(mnsA(50, 100))
+	if n := b.Purge(100); n != 1 || b.Len() != 0 {
+		t.Fatalf("purge failed: %d", n)
+	}
+	if acct.Live() != 0 {
+		t.Fatalf("buffer leaked %d bytes", acct.Live())
+	}
+}
+
+func TestBufferProbeMisses(t *testing.T) {
+	b := NewBuffer("NB", &metrics.Account{})
+	b.Add(mnsA(100, 1000))
+	miss := comp(3, tpl(2, 7, 51))
+	if matched, _ := b.Probe(miss); len(matched) != 0 || b.Len() != 1 {
+		t.Fatal("miss must keep the MNS")
+	}
+}
+
+func TestBlacklistLifecycle(t *testing.T) {
+	acct := &metrics.Account{}
+	bl := NewBlacklist("B", acct)
+	m := mnsA(100, 1000)
+	e, created := bl.Ensure(m)
+	if !created || bl.Len() != 1 {
+		t.Fatal("ensure failed")
+	}
+	if _, created := bl.Ensure(mnsA(100, 3000)); created {
+		t.Fatal("duplicate sig must not create")
+	}
+	if m.Expiry != 3000 {
+		t.Fatal("expiry not extended")
+	}
+	// Park tuples, including a same-signature generalization.
+	a1 := comp(3, tpl(0, 10, 1, 100))
+	a2 := comp(3, tpl(0, 20, 2, 100))
+	bl.Park(e, Suspended{E: state.Entry{C: a1, Seq: 1}, Cursor: 0})
+	bl.Park(e, Suspended{E: state.Entry{C: a2, Seq: 2}, Cursor: 0})
+	if bl.NumSuspended() != 2 || acct.Live() == 0 {
+		t.Fatal("park failed")
+	}
+	// Arrival with the same signature diverts.
+	a3 := comp(3, tpl(0, 30, 3, 100))
+	hit, _ := bl.MatchArrival(a3, 500, true)
+	if hit != e {
+		t.Fatal("generalized arrival should divert")
+	}
+	// Without generalization only anchor super-tuples divert.
+	hit, _ = bl.MatchArrival(a3, 500, false)
+	if hit != nil {
+		t.Fatal("non-super-tuple must not divert without generalization")
+	}
+	// Expired entries are skipped at arrival and collected by TakeExpired.
+	if hit, _ := bl.MatchArrival(a3, 5000, true); hit != nil {
+		t.Fatal("expired entry must not divert")
+	}
+	exp := bl.TakeExpired(5000)
+	if len(exp) != 1 || bl.Len() != 0 {
+		t.Fatal("TakeExpired failed")
+	}
+	bl.ReleaseTuples(exp[0])
+	if acct.Live() != 0 {
+		t.Fatalf("blacklist leaked %d bytes", acct.Live())
+	}
+}
+
+func TestBlacklistTakeAndPurge(t *testing.T) {
+	acct := &metrics.Account{}
+	bl := NewBlacklist("B", acct)
+	m := mnsA(100, 1000)
+	e, _ := bl.Ensure(m)
+	old := comp(3, tpl(0, 10, 1, 100))
+	young := comp(3, tpl(0, 500, 2, 100))
+	bl.Park(e, Suspended{E: state.Entry{C: old, Seq: 1}})
+	bl.Park(e, Suspended{E: state.Entry{C: young, Seq: 2}})
+	// window 100 at now 200: old (ts10) expires.
+	if n := bl.PurgeTuples(200, 100); n != 1 || bl.NumSuspended() != 1 {
+		t.Fatalf("purge tuples: %d", n)
+	}
+	got, ok := bl.Take(m.Key())
+	if !ok || len(got.Tuples) != 1 {
+		t.Fatal("take failed")
+	}
+	if _, ok := bl.Take(m.Key()); ok {
+		t.Fatal("double take")
+	}
+}
+
+func TestSuspendedDone(t *testing.T) {
+	var s Suspended
+	if s.IsDone(5) {
+		t.Fatal("phantom done")
+	}
+	s.MarkDone(5)
+	if !s.IsDone(5) || s.IsDone(6) {
+		t.Fatal("done bookkeeping wrong")
+	}
+}
+
+func TestMarkTable(t *testing.T) {
+	acct := &metrics.Account{}
+	mt := NewMarkTable(acct)
+	if !mt.Empty() {
+		t.Fatal("fresh table not empty")
+	}
+	m := &MNS{
+		ID:      7,
+		Sources: stream.SourceSet(0).Add(0).Add(2),
+		Sig: Signature{
+			{Attr: predicate.Attr{Source: 0, Col: 0}, Val: 5},
+			{Attr: predicate.Attr{Source: 2, Col: 0}, Val: 9},
+		},
+		Expiry: 1000,
+	}
+	left := stream.SourceSet(0).Add(0).Add(1)
+	right := stream.SourceSet(0).Add(2)
+	e := mt.ActivateOrigin(m, left, right)
+	if e == nil || len(e.SigL) != 1 || len(e.SigR) != 1 {
+		t.Fatal("activation/decomposition wrong")
+	}
+	if mt.ActivateOrigin(m, left, right) != nil {
+		t.Fatal("duplicate origin accepted")
+	}
+	l := comp(3, tpl(0, 10, 5))
+	r := comp(3, tpl(2, 20, 9))
+	mt.Enroll(e, true, state.Entry{C: l, Seq: 1})
+	mt.Enroll(e, false, state.Entry{C: r, Seq: 2})
+	if !l.HasMark(7) || !r.HasMark(7) {
+		t.Fatal("enrollment did not mark")
+	}
+	if mt.Enroll(e, true, state.Entry{C: l, Seq: 1}) {
+		t.Fatal("re-enrollment accepted")
+	}
+	if !mt.Suppressed(l, r, 0) || mt.Suppressed(l, r, 7) {
+		t.Fatal("suppression check wrong")
+	}
+	mt.RecordSuppressed(e, state.Entry{C: l, Seq: 1}, state.Entry{C: r, Seq: 2})
+	if mt.NumPending() != 1 {
+		t.Fatal("pending not recorded")
+	}
+	got, ok := mt.TakeOrigin(m.Key())
+	if !ok || got != e || mt.NumOrigins() != 0 {
+		t.Fatal("take origin failed")
+	}
+	if mt.Suppressed(l, r, 0) {
+		t.Fatal("suppression survives dissolution")
+	}
+	mt.ReleasePending(got)
+	if acct.Live() != 0 {
+		t.Fatalf("mark table leaked %d bytes", acct.Live())
+	}
+}
+
+func TestRelays(t *testing.T) {
+	acct := &metrics.Account{}
+	mt := NewMarkTable(acct)
+	m := &MNS{
+		ID:      3,
+		Sources: stream.SourceSet(0).Add(0),
+		Sig:     Signature{{Attr: predicate.Attr{Source: 0, Col: 0}, Val: 5}},
+		Expiry:  100,
+	}
+	if !mt.AddRelay(m) || mt.AddRelay(m) {
+		t.Fatal("relay add/dedup wrong")
+	}
+	out := comp(3, tpl(0, 10, 5))
+	mt.StampOutput(out)
+	if !out.HasMark(3) {
+		t.Fatal("stamping failed")
+	}
+	miss := comp(3, tpl(0, 10, 6))
+	mt.StampOutput(miss)
+	if miss.HasMark(3) {
+		t.Fatal("stamped a non-match")
+	}
+	if n := mt.PurgeRelays(200); n != 1 || mt.NumRelays() != 0 {
+		t.Fatal("relay purge failed")
+	}
+	if acct.Live() != 0 {
+		t.Fatalf("relays leaked %d bytes", acct.Live())
+	}
+}
+
+func TestPurgePending(t *testing.T) {
+	mt := NewMarkTable(&metrics.Account{})
+	m := &MNS{ID: 1, Sources: stream.SourceSet(0).Add(0).Add(2),
+		Sig: Signature{
+			{Attr: predicate.Attr{Source: 0, Col: 0}, Val: 5},
+			{Attr: predicate.Attr{Source: 2, Col: 0}, Val: 9},
+		}, Expiry: 10000}
+	e := mt.ActivateOrigin(m, stream.SourceSet(0).Add(0), stream.SourceSet(0).Add(2))
+	old := comp(3, tpl(0, 10, 5))
+	young := comp(3, tpl(2, 900, 9))
+	mt.RecordSuppressed(e, state.Entry{C: old, Seq: 1}, state.Entry{C: young, Seq: 2})
+	if n := mt.PurgePending(1000, 100); n != 1 || mt.NumPending() != 0 {
+		t.Fatalf("pending purge: %d", n)
+	}
+}

@@ -1,0 +1,308 @@
+package feedback
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/state"
+	"repro/internal/stream"
+)
+
+// PendingPair is one join pair whose production was suppressed by an active
+// mark: the left-side and right-side tuples as stored in their states. The
+// pair is generated exactly once, when the covering mark entry dissolves
+// (resumption or anchor expiry), unless another active mark still covers it
+// — in which case it is deferred to that entry.
+//
+// Recording pairs explicitly — rather than reconstructing them from cursor
+// arithmetic at unmark time — makes Type II handling exact under arbitrary
+// interleavings of marking, suspension, resumption and re-entrant feedback.
+type PendingPair struct {
+	L, R state.Entry
+}
+
+// OriginEntry lives at the operator where a Type II MNS was suspended: the
+// operator whose two input sides together cover the MNS. It suppresses
+// joins between left-marked and right-marked tuples until unmarked,
+// recording each suppressed pair.
+type OriginEntry struct {
+	MNS  *MNS
+	SigL Signature // restriction of MNS.Sig to the left input's sources
+	SigR Signature
+	// Left / Right list the enrolled (marked) tuples per side, for mark
+	// cleanup when the entry dissolves.
+	Left  []state.Entry
+	Right []state.Entry
+	// Pending holds the pairs suppressed under this entry.
+	Pending []PendingPair
+
+	seen map[*stream.Composite]bool // dedups enrollment
+}
+
+// RelayEntry lives at an upstream operator that received a mark-result
+// feedback: it stamps every produced output matching the signature with the
+// mark id so the origin operator can recognise it.
+type RelayEntry struct {
+	MNS *MNS
+}
+
+// MarkTable holds the Type II machinery of one operator.
+type MarkTable struct {
+	acct    *metrics.Account
+	origins []*OriginEntry
+	byKey   map[string]*OriginEntry
+	relays  []*RelayEntry
+	relayBy map[string]*RelayEntry
+	active  map[uint64]*OriginEntry // origin mark ids currently suppressing
+}
+
+// NewMarkTable creates an empty table.
+func NewMarkTable(acct *metrics.Account) *MarkTable {
+	return &MarkTable{
+		acct:    acct,
+		byKey:   make(map[string]*OriginEntry),
+		relayBy: make(map[string]*RelayEntry),
+		active:  make(map[uint64]*OriginEntry),
+	}
+}
+
+// Empty reports whether the table has no active entries of either kind,
+// letting operators skip all Type II work on the hot path.
+func (t *MarkTable) Empty() bool { return len(t.origins) == 0 && len(t.relays) == 0 }
+
+// NumOrigins returns the number of active origin entries.
+func (t *MarkTable) NumOrigins() int { return len(t.origins) }
+
+// NumRelays returns the number of active relay entries.
+func (t *MarkTable) NumRelays() int { return len(t.relays) }
+
+// NumPending returns the total number of suppressed pairs currently parked.
+func (t *MarkTable) NumPending() int {
+	n := 0
+	for _, e := range t.origins {
+		n += len(e.Pending)
+	}
+	return n
+}
+
+// ActivateOrigin installs an origin entry for a Type II MNS, returning nil
+// if an entry with the same signature is already active (duplicate
+// suspensions are ignored, with the anchor expiry extended).
+func (t *MarkTable) ActivateOrigin(m *MNS, leftSources, rightSources stream.SourceSet) *OriginEntry {
+	if old, ok := t.byKey[m.Key()]; ok {
+		if m.Expiry > old.MNS.Expiry {
+			old.MNS.Expiry = m.Expiry
+		}
+		return nil
+	}
+	e := &OriginEntry{
+		MNS:  m,
+		SigL: m.Sig.Restrict(leftSources),
+		SigR: m.Sig.Restrict(rightSources),
+		seen: make(map[*stream.Composite]bool),
+	}
+	t.origins = append(t.origins, e)
+	t.byKey[m.Key()] = e
+	t.active[m.ID] = e
+	t.acct.Alloc(m.SizeBytes())
+	return e
+}
+
+// Enroll marks a tuple under entry e on the given side (left when left is
+// true). Re-enrollment of an already enrolled composite is a no-op.
+func (t *MarkTable) Enroll(e *OriginEntry, left bool, se state.Entry) bool {
+	if e.seen[se.C] {
+		return false
+	}
+	e.seen[se.C] = true
+	if left {
+		e.Left = append(e.Left, se)
+	} else {
+		e.Right = append(e.Right, se)
+	}
+	se.C.AddMark(e.MNS.ID)
+	return true
+}
+
+// RecordSuppressed parks a suppressed pair under entry e, charging its
+// bookkeeping storage.
+func (t *MarkTable) RecordSuppressed(e *OriginEntry, l, r state.Entry) {
+	e.Pending = append(e.Pending, PendingPair{L: l, R: r})
+	t.acct.Alloc(pendingPairBytes)
+}
+
+const pendingPairBytes = 48
+
+// IsActive reports whether mark id is an active origin mark here.
+func (t *MarkTable) IsActive(id uint64) bool { return t.active[id] != nil }
+
+// EntryByID returns the active origin entry with the given mark id.
+func (t *MarkTable) EntryByID(id uint64) *OriginEntry { return t.active[id] }
+
+// Origins returns the active origin entries (shared slice; callers must not
+// mutate).
+func (t *MarkTable) Origins() []*OriginEntry { return t.origins }
+
+// Suppressed reports whether the pair (a, b) shares an active origin mark
+// at this operator and must therefore not be joined now. The exclude id
+// allows unmark processing to ignore the entry being dissolved.
+func (t *MarkTable) Suppressed(a, b *stream.Composite, exclude uint64) bool {
+	return t.SuppressedBy(a, b, exclude) != 0
+}
+
+// SuppressedBy returns the id of an active origin mark shared by a and b
+// (excluding the given id), or 0 when the pair is not suppressed.
+func (t *MarkTable) SuppressedBy(a, b *stream.Composite, exclude uint64) uint64 {
+	if len(a.Marks) == 0 || len(b.Marks) == 0 {
+		return 0
+	}
+	// Iterate the smaller mark set.
+	small, big := a, b
+	if len(b.Marks) < len(a.Marks) {
+		small, big = b, a
+	}
+	for id := range small.Marks {
+		if id != exclude && t.active[id] != nil && big.HasMark(id) {
+			return id
+		}
+	}
+	return 0
+}
+
+// TakeOrigin removes and returns the origin entry for the signature key.
+// The caller generates the entry's pending pairs and clears its marks.
+func (t *MarkTable) TakeOrigin(key string) (*OriginEntry, bool) {
+	e, ok := t.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	t.removeOrigin(e)
+	return e, true
+}
+
+// TakeExpiredOrigins removes and returns every origin entry whose anchor
+// expired; the operator must generate their pending pairs.
+func (t *MarkTable) TakeExpiredOrigins(now stream.Time) []*OriginEntry {
+	var out []*OriginEntry
+	for _, e := range append([]*OriginEntry(nil), t.origins...) {
+		if e.MNS.Expiry <= now {
+			t.removeOrigin(e)
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// HasExpired reports whether any origin or relay entry has expired.
+func (t *MarkTable) HasExpired(now stream.Time) bool {
+	for _, e := range t.origins {
+		if e.MNS.Expiry <= now {
+			return true
+		}
+	}
+	for _, r := range t.relays {
+		if r.MNS.Expiry <= now {
+			return true
+		}
+	}
+	return false
+}
+
+// PurgePending drops pending pairs with an expired endpoint — their results
+// can never contribute to output (fruitless partial results).
+func (t *MarkTable) PurgePending(now, window stream.Time) int {
+	n := 0
+	for _, e := range t.origins {
+		kept := e.Pending[:0]
+		for _, p := range e.Pending {
+			if p.L.C.MinTS+window <= now || p.R.C.MinTS+window <= now {
+				t.acct.Free(pendingPairBytes)
+				n++
+				continue
+			}
+			kept = append(kept, p)
+		}
+		for i := len(kept); i < len(e.Pending); i++ {
+			e.Pending[i] = PendingPair{}
+		}
+		e.Pending = kept
+	}
+	return n
+}
+
+// ReleasePending uncharges the pending-pair storage of a dissolved entry.
+func (t *MarkTable) ReleasePending(e *OriginEntry) {
+	t.acct.Free(int64(len(e.Pending)) * pendingPairBytes)
+}
+
+func (t *MarkTable) removeOrigin(e *OriginEntry) {
+	delete(t.byKey, e.MNS.Key())
+	delete(t.active, e.MNS.ID)
+	t.acct.Free(e.MNS.SizeBytes())
+	for i, x := range t.origins {
+		if x == e {
+			copy(t.origins[i:], t.origins[i+1:])
+			t.origins[len(t.origins)-1] = nil
+			t.origins = t.origins[:len(t.origins)-1]
+			return
+		}
+	}
+}
+
+// AddRelay installs (or extends) a relay entry stamping outputs that match
+// the MNS signature. Returns true when a new entry was created.
+func (t *MarkTable) AddRelay(m *MNS) bool {
+	if old, ok := t.relayBy[m.Key()]; ok {
+		if m.Expiry > old.MNS.Expiry {
+			old.MNS.Expiry = m.Expiry
+		}
+		return false
+	}
+	r := &RelayEntry{MNS: m}
+	t.relays = append(t.relays, r)
+	t.relayBy[m.Key()] = r
+	t.acct.Alloc(m.SizeBytes())
+	return true
+}
+
+// RemoveRelay drops the relay entry for the key, if present.
+func (t *MarkTable) RemoveRelay(key string) bool {
+	r, ok := t.relayBy[key]
+	if !ok {
+		return false
+	}
+	delete(t.relayBy, key)
+	t.acct.Free(r.MNS.SizeBytes())
+	for i, x := range t.relays {
+		if x == r {
+			copy(t.relays[i:], t.relays[i+1:])
+			t.relays[len(t.relays)-1] = nil
+			t.relays = t.relays[:len(t.relays)-1]
+			break
+		}
+	}
+	return true
+}
+
+// PurgeRelays drops expired relay entries.
+func (t *MarkTable) PurgeRelays(now stream.Time) int {
+	n := 0
+	for _, r := range append([]*RelayEntry(nil), t.relays...) {
+		if r.MNS.Expiry <= now {
+			t.RemoveRelay(r.MNS.Key())
+			n++
+		}
+	}
+	return n
+}
+
+// StampOutput tags a freshly produced composite with every relay mark whose
+// signature it matches; returns the number of signature checks for cost
+// accounting.
+func (t *MarkTable) StampOutput(c *stream.Composite) (checks int) {
+	for _, r := range t.relays {
+		checks += len(r.MNS.Sig)
+		if r.MNS.Sig.MatchedBy(c) {
+			c.AddMark(r.MNS.ID)
+		}
+	}
+	return checks
+}

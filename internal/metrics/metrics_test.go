@@ -1,0 +1,52 @@
+package metrics
+
+import "testing"
+
+func TestAccountPeak(t *testing.T) {
+	var a Account
+	a.Alloc(100)
+	a.Alloc(50)
+	a.Free(120)
+	a.Alloc(10)
+	if a.Live() != 40 {
+		t.Fatalf("live=%d", a.Live())
+	}
+	if a.Peak() != 150 {
+		t.Fatalf("peak=%d", a.Peak())
+	}
+	if a.PeakKB() != 150.0/1024 {
+		t.Fatal("PeakKB wrong")
+	}
+	a.Reset()
+	if a.Live() != 0 || a.Peak() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestAccountNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-free must panic")
+		}
+	}()
+	var a Account
+	a.Alloc(10)
+	a.Free(11)
+}
+
+func TestCountersAddAndCost(t *testing.T) {
+	a := Counters{Comparisons: 10, Results: 2, Feedbacks: 1}
+	b := Counters{Comparisons: 5, Inserted: 3, Suspended: 2}
+	a.Add(&b)
+	if a.Comparisons != 15 || a.Inserted != 3 || a.Suspended != 2 {
+		t.Fatal("add wrong")
+	}
+	cost := a.CostUnits()
+	// 15*1 + 2*8 + 3*2 + 1*16 + 2*4 = 15+16+6+16+8 = 61
+	if cost != 61 {
+		t.Fatalf("cost=%d want 61", cost)
+	}
+	if a.String() == "" {
+		t.Fatal("empty render")
+	}
+}

@@ -1,0 +1,99 @@
+// Package operator defines the operator abstractions of the execution plan
+// — the producer/consumer contract, feedback routing, and the simple
+// (non-join) operators: sinks, selections, projections and static-relation
+// joins (Sec. V).
+package operator
+
+import (
+	"repro/internal/feedback"
+	"repro/internal/stream"
+)
+
+// Port distinguishes the two inputs of a binary operator.
+type Port int
+
+// Binary operator input ports.
+const (
+	Left  Port = 0
+	Right Port = 1
+)
+
+func (p Port) String() string {
+	if p == Left {
+		return "L"
+	}
+	return "R"
+}
+
+// Opposite returns the other port.
+func (p Port) Opposite() Port { return 1 - p }
+
+// Consumer receives composites produced by an upstream operator.
+type Consumer interface {
+	// Consume delivers one composite to the given input port. In the
+	// pipelined engine this recurses into the consumer's processing; in the
+	// queued engine it enqueues.
+	Consume(c *stream.Composite, to Port)
+}
+
+// Producer is the upstream handle a consumer sends feedback to.
+type Producer interface {
+	// Name labels the operator for diagnostics.
+	Name() string
+	// OutSources is the set of sources covered by the producer's outputs.
+	OutSources() stream.SourceSet
+	// Feedback delivers a feedback message. For Resume commands the return
+	// value is S_Π — the demanded partial results the consumer must join
+	// with its current input and append to its state (Sec. III-A). For all
+	// other commands it returns nil.
+	Feedback(msg feedback.Message) []*stream.Composite
+	// CanSuspend reports whether feedback can have any effect here: true
+	// for join operators and for relays whose upstream chain reaches a
+	// join. Consumers skip MNS detection on ports whose producer cannot
+	// suspend (e.g. raw sources).
+	CanSuspend() bool
+}
+
+// Op is any operator that participates in the data flow.
+type Op interface {
+	Consumer
+	Name() string
+	OutSources() stream.SourceSet
+}
+
+// FanOut duplicates a stream to several consumers; used by Eddy-style plans
+// and test rigs. It is not a Producer — feedback does not traverse it.
+type FanOut struct {
+	name string
+	outs []struct {
+		c    Consumer
+		port Port
+	}
+	sources stream.SourceSet
+}
+
+// NewFanOut creates a fan-out node covering the given sources.
+func NewFanOut(name string, sources stream.SourceSet) *FanOut {
+	return &FanOut{name: name, sources: sources}
+}
+
+// Name implements Op.
+func (f *FanOut) Name() string { return f.name }
+
+// OutSources implements Op.
+func (f *FanOut) OutSources() stream.SourceSet { return f.sources }
+
+// AddConsumer registers a downstream consumer.
+func (f *FanOut) AddConsumer(c Consumer, port Port) {
+	f.outs = append(f.outs, struct {
+		c    Consumer
+		port Port
+	}{c, port})
+}
+
+// Consume forwards the composite to every registered consumer.
+func (f *FanOut) Consume(c *stream.Composite, _ Port) {
+	for _, o := range f.outs {
+		o.c.Consume(c, o.port)
+	}
+}

@@ -1,0 +1,158 @@
+package operator
+
+import (
+	"fmt"
+
+	"repro/internal/feedback"
+	"repro/internal/metrics"
+	"repro/internal/predicate"
+	"repro/internal/stream"
+)
+
+// Selection filters composites by a single-source comparison (Fig. 9a). As
+// a consumer it detects permanent MNSs: a component failing the filter can
+// never pass later, so the upstream producer may delete the suspended
+// tuples outright (no resumption will ever be issued). As a producer it
+// relays feedback from its own consumer to the upstream join (Sec. V).
+type Selection struct {
+	name     string
+	pred     predicate.Selection
+	prod     Producer
+	consumer Consumer
+	outPort  Port
+	ctr      *metrics.Counters
+	detect   bool
+	nextMNS  func() uint64
+	window   stream.Time
+}
+
+// NewSelection creates a selection operator. prod may be nil when fed by a
+// raw source; detect enables JIT feedback generation; nextMNS supplies
+// MNS identifiers (shared with the rest of the plan).
+func NewSelection(name string, pred predicate.Selection, prod Producer, ctr *metrics.Counters, detect bool, nextMNS func() uint64, window stream.Time) *Selection {
+	return &Selection{name: name, pred: pred, prod: prod, ctr: ctr, detect: detect, nextMNS: nextMNS, window: window}
+}
+
+// SetConsumer wires the downstream consumer.
+func (s *Selection) SetConsumer(c Consumer, port Port) { s.consumer, s.outPort = c, port }
+
+// Name implements Op.
+func (s *Selection) Name() string { return s.name }
+
+// OutSources implements Op. A selection preserves its input's sources; the
+// concrete set depends on the producer.
+func (s *Selection) OutSources() stream.SourceSet {
+	if s.prod != nil {
+		return s.prod.OutSources()
+	}
+	return stream.SourceSet(0).Add(s.pred.Source)
+}
+
+// CanSuspend implements Producer: feedback through a selection reaches the
+// upstream join, if any.
+func (s *Selection) CanSuspend() bool { return s.prod != nil && s.prod.CanSuspend() }
+
+// Feedback implements Producer by relaying to the upstream producer and
+// filtering any returned S_Π through the selection.
+func (s *Selection) Feedback(msg feedback.Message) []*stream.Composite {
+	if s.prod == nil {
+		return nil
+	}
+	out := s.prod.Feedback(msg)
+	if len(out) == 0 {
+		return nil
+	}
+	kept := out[:0]
+	for _, c := range out {
+		s.ctr.Comparisons++
+		if s.pred.Holds(c) {
+			kept = append(kept, c)
+		}
+	}
+	return kept
+}
+
+// Consume implements Consumer: evaluate the filter, forward survivors, and
+// issue permanent suspension feedback for rejected inputs.
+func (s *Selection) Consume(c *stream.Composite, _ Port) {
+	s.ctr.Comparisons++
+	if s.pred.Holds(c) {
+		if s.consumer != nil {
+			s.consumer.Consume(c, s.outPort)
+		}
+		return
+	}
+	if !s.detect || s.prod == nil || !s.prod.CanSuspend() {
+		return
+	}
+	// The failing component is the predicate's source; its rejection is
+	// value-determined and permanent for this exact value... only for
+	// equality-shaped knowledge. We anchor the MNS on this component and
+	// let it expire with the component (conservative but always sound).
+	t := c.Comp(s.pred.Source)
+	if t == nil {
+		return
+	}
+	attr := predicate.Attr{Source: s.pred.Source, Col: s.pred.Col}
+	sig := feedback.Signature{{Attr: attr, Val: t.Vals[s.pred.Col]}}
+	m := &feedback.MNS{
+		ID:      s.nextMNS(),
+		Sources: stream.SourceSet(0).Add(s.pred.Source),
+		Sig:     sig,
+		Expiry:  t.TS + s.window,
+	}
+	s.ctr.MNSDetected++
+	s.ctr.Feedbacks++
+	s.prod.Feedback(feedback.Message{Cmd: feedback.Suspend, MNS: []*feedback.MNS{m}})
+}
+
+// Projection is a pass-through relay. The composite data model retains all
+// components (column pruning would happen at output formatting), so the
+// operator's role here is plan-structural: it relays data downstream and
+// feedback upstream, demonstrating Sec. V's "OP is not a join" case.
+type Projection struct {
+	name     string
+	prod     Producer
+	consumer Consumer
+	outPort  Port
+}
+
+// NewProjection creates a projection relay over the given producer.
+func NewProjection(name string, prod Producer) *Projection {
+	return &Projection{name: name, prod: prod}
+}
+
+// SetConsumer wires the downstream consumer.
+func (p *Projection) SetConsumer(c Consumer, port Port) { p.consumer, p.outPort = c, port }
+
+// Name implements Op.
+func (p *Projection) Name() string { return p.name }
+
+// OutSources implements Op.
+func (p *Projection) OutSources() stream.SourceSet {
+	if p.prod != nil {
+		return p.prod.OutSources()
+	}
+	return 0
+}
+
+// CanSuspend implements Producer.
+func (p *Projection) CanSuspend() bool { return p.prod != nil && p.prod.CanSuspend() }
+
+// Feedback implements Producer by pure relay.
+func (p *Projection) Feedback(msg feedback.Message) []*stream.Composite {
+	if p.prod == nil {
+		return nil
+	}
+	return p.prod.Feedback(msg)
+}
+
+// Consume implements Consumer.
+func (p *Projection) Consume(c *stream.Composite, _ Port) {
+	if p.consumer != nil {
+		p.consumer.Consume(c, p.outPort)
+	}
+}
+
+// String renders the operator.
+func (p *Projection) String() string { return fmt.Sprintf("π(%s)", p.name) }

@@ -1,0 +1,157 @@
+package operator
+
+import (
+	"repro/internal/feedback"
+	"repro/internal/metrics"
+	"repro/internal/predicate"
+	"repro/internal/stream"
+)
+
+// StaticJoin joins its streaming input against a static relation R_C
+// (Fig. 9b). Because the relation never changes, any MNS it detects is
+// permanent: the operator sends suspension feedback but will never issue a
+// resumption, so the upstream producer can discard the suspended tuples.
+type StaticJoin struct {
+	name     string
+	relation []*stream.Tuple // tuples of one static source
+	relSrc   stream.SourceID
+	preds    predicate.Conj
+	prod     Producer
+	consumer Consumer
+	outPort  Port
+	ctr      *metrics.Counters
+	detect   bool
+	nextMNS  func() uint64
+	window   stream.Time
+	numSrc   int
+	sent     map[string]bool // signatures already suspended
+}
+
+// NewStaticJoin creates a static join. relation holds the static source's
+// tuples; preds is the full query conjunction (the operator evaluates the
+// subset touching the static source).
+func NewStaticJoin(name string, relSrc stream.SourceID, relation []*stream.Tuple, preds predicate.Conj, prod Producer, ctr *metrics.Counters, detect bool, nextMNS func() uint64, window stream.Time, numSources int) *StaticJoin {
+	return &StaticJoin{
+		name: name, relation: relation, relSrc: relSrc, preds: preds,
+		prod: prod, ctr: ctr, detect: detect, nextMNS: nextMNS,
+		window: window, numSrc: numSources, sent: make(map[string]bool),
+	}
+}
+
+// SetConsumer wires the downstream consumer.
+func (j *StaticJoin) SetConsumer(c Consumer, port Port) { j.consumer, j.outPort = c, port }
+
+// Name implements Op.
+func (j *StaticJoin) Name() string { return j.name }
+
+// OutSources implements Op.
+func (j *StaticJoin) OutSources() stream.SourceSet {
+	out := stream.SourceSet(0).Add(j.relSrc)
+	if j.prod != nil {
+		out = out.Union(j.prod.OutSources())
+	}
+	return out
+}
+
+// CanSuspend implements Producer (relay upstream).
+func (j *StaticJoin) CanSuspend() bool { return j.prod != nil && j.prod.CanSuspend() }
+
+// Feedback implements Producer by relaying upstream; returned S_Π tuples
+// are joined against the relation before being handed back.
+func (j *StaticJoin) Feedback(msg feedback.Message) []*stream.Composite {
+	if j.prod == nil {
+		return nil
+	}
+	up := j.prod.Feedback(msg)
+	if len(up) == 0 {
+		return nil
+	}
+	var out []*stream.Composite
+	for _, c := range up {
+		out = append(out, j.join(c)...)
+	}
+	return out
+}
+
+// Consume implements Consumer: probe the relation, emit matches, detect
+// permanent MNSs on misses.
+func (j *StaticJoin) Consume(c *stream.Composite, _ Port) {
+	results := j.join(c)
+	for _, r := range results {
+		if j.consumer != nil {
+			j.consumer.Consume(r, j.outPort)
+		}
+	}
+	if len(results) > 0 || !j.detect || j.prod == nil || !j.prod.CanSuspend() {
+		return
+	}
+	j.detectMNS(c)
+}
+
+func (j *StaticJoin) join(c *stream.Composite) []*stream.Composite {
+	var out []*stream.Composite
+	relSet := stream.SourceSet(0).Add(j.relSrc)
+	j.ctr.Probes++
+	for _, rt := range j.relation {
+		rc := stream.NewComposite(j.numSrc, rt)
+		ok, n := j.preds.EvalPair(c, rc)
+		j.ctr.Comparisons += uint64(n)
+		if ok {
+			out = append(out, stream.Join(c, rc))
+			j.ctr.Results++
+		}
+	}
+	_ = relSet
+	return out
+}
+
+// detectMNS finds the minimal components of c, among those linked to the
+// static source, with no partner in the relation, and suspends them
+// permanently upstream. Detection here uses the Level-1 (single component)
+// case, which covers the common static-filter pattern.
+func (j *StaticJoin) detectMNS(c *stream.Composite) {
+	relSet := stream.SourceSet(0).Add(j.relSrc)
+	for _, src := range j.preds.SourcesLinkedTo(c.Sources, relSet) {
+		comp := c.Comp(src)
+		if comp == nil {
+			continue
+		}
+		linked := j.preds.TouchingAcross(src, relSet)
+		matched := false
+		for _, rt := range j.relation {
+			rc := stream.NewComposite(j.numSrc, rt)
+			all := true
+			for _, p := range linked {
+				j.ctr.Comparisons++
+				if !p.Holds(c, rc) {
+					all = false
+					break
+				}
+			}
+			if all {
+				matched = true
+				break
+			}
+		}
+		if matched {
+			continue
+		}
+		attrs := j.preds.JoinAttrs(src, relSet)
+		sig := feedback.MakeSignature(attrs, func(id stream.SourceID) *stream.Tuple { return c.Comp(id) })
+		key := sig.Canon()
+		if j.sent[key] {
+			continue
+		}
+		j.sent[key] = true
+		m := &feedback.MNS{
+			ID:      j.nextMNS(),
+			Sources: stream.SourceSet(0).Add(src),
+			Sig:     sig,
+			Preds:   linked,
+			Expiry:  comp.TS + j.window,
+		}
+		j.ctr.MNSDetected++
+		j.ctr.Feedbacks++
+		j.prod.Feedback(feedback.Message{Cmd: feedback.Suspend, MNS: []*feedback.MNS{m}})
+	}
+}

@@ -1,0 +1,213 @@
+// Package plan constructs execution plans: the X-Join binary trees of
+// Table II (bushy and left-deep), arbitrary user-specified trees, and the
+// alternative M-Join and Eddy topologies of Sec. II/V.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/operator"
+	"repro/internal/predicate"
+	"repro/internal/stream"
+)
+
+// Node is a plan-shape tree: leaves name sources, internal nodes are binary
+// joins.
+type Node struct {
+	Source stream.SourceID // valid when leaf
+	Left   *Node
+	Right  *Node
+}
+
+// Leaf creates a leaf node.
+func Leaf(id stream.SourceID) *Node { return &Node{Source: id} }
+
+// J creates an internal join node.
+func J(l, r *Node) *Node { return &Node{Left: l, Right: r} }
+
+// IsLeaf reports whether the node is a source leaf.
+func (n *Node) IsLeaf() bool { return n.Left == nil && n.Right == nil }
+
+// Sources returns the set of sources under the node.
+func (n *Node) Sources() stream.SourceSet {
+	if n.IsLeaf() {
+		return stream.SourceSet(0).Add(n.Source)
+	}
+	return n.Left.Sources().Union(n.Right.Sources())
+}
+
+// Render prints the shape with the paper's notation, e.g. ((A B) C).
+func (n *Node) Render(cat *stream.Catalog) string {
+	if n.IsLeaf() {
+		return cat.Source(n.Source).Name
+	}
+	return "(" + n.Left.Render(cat) + " " + n.Right.Render(cat) + ")"
+}
+
+// LeftDeep builds the left-deep shape of Table II: (((A B) C) D) ...
+func LeftDeep(n int) *Node {
+	if n < 2 {
+		panic("plan: left-deep needs >= 2 sources")
+	}
+	t := Leaf(0)
+	for i := 1; i < n; i++ {
+		t = J(t, Leaf(stream.SourceID(i)))
+	}
+	return t
+}
+
+// Bushy builds the bushy shapes of Table II:
+//
+//	N=4: (A B) (C D)
+//	N=5: ((A B) (C D)) E
+//	N=6: ((A B) (C D)) (E F)
+//	N=7: ((A B) (C D)) ((E F) G)
+//	N=8: ((A B) (C D)) ((E F) (G H))
+//
+// For other N it produces the balanced binary tree over the sources, which
+// coincides with the table for all listed values.
+func Bushy(n int) *Node {
+	if n < 2 {
+		panic("plan: bushy needs >= 2 sources")
+	}
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		nodes[i] = Leaf(stream.SourceID(i))
+	}
+	for len(nodes) > 1 {
+		var next []*Node
+		for i := 0; i+1 < len(nodes); i += 2 {
+			next = append(next, J(nodes[i], nodes[i+1]))
+		}
+		if len(nodes)%2 == 1 {
+			// The odd leftover rises to the next level unchanged, so N=5
+			// yields ((A B) (C D)) E and N=7 yields ((A B) (C D)) ((E F) G),
+			// exactly as in Table II.
+			next = append(next, nodes[len(nodes)-1])
+		}
+		nodes = next
+	}
+	return nodes[0]
+}
+
+// Feed tells the engine where a source's arrivals enter the plan.
+type Feed struct {
+	Op   operator.Consumer
+	Port operator.Port
+}
+
+// Built is a wired executable plan.
+type Built struct {
+	Catalog *stream.Catalog
+	Window  stream.Time
+	Root    operator.Op
+	Sink    *operator.Sink
+	// Joins lists every join operator bottom-up (producers before
+	// consumers) — the engine's sweep order.
+	Joins []*core.JoinOp
+	// Feeds maps each source to its entry point.
+	Feeds map[stream.SourceID]Feed
+	// Counters and Account are the shared measurement substrate.
+	Counters *metrics.Counters
+	Account  *metrics.Account
+
+	nextMNS uint64
+}
+
+// Options configures plan construction.
+type Options struct {
+	Window stream.Time
+	Mode   core.Mode
+	// KeepResults makes the sink retain all results (tests only).
+	KeepResults bool
+}
+
+// BuildTree wires a Node shape into JoinOps plus a sink.
+func BuildTree(cat *stream.Catalog, preds predicate.Conj, shape *Node, opt Options) *Built {
+	b := &Built{
+		Catalog:  cat,
+		Window:   opt.Window,
+		Feeds:    make(map[stream.SourceID]Feed),
+		Counters: &metrics.Counters{},
+		Account:  &metrics.Account{},
+	}
+	b.Sink = operator.NewSink("sink", b.Counters, opt.KeepResults)
+	root := b.wire(cat, preds, shape, opt)
+	rootJoin, ok := root.(*core.JoinOp)
+	if !ok {
+		panic("plan: root must be a join")
+	}
+	rootJoin.SetConsumer(b.Sink, operator.Left)
+	b.Root = rootJoin
+	return b
+}
+
+// NextMNS hands out plan-unique MNS / mark identifiers.
+func (b *Built) NextMNS() uint64 {
+	b.nextMNS++
+	return b.nextMNS
+}
+
+// wire recursively builds the operator for a node and returns it; for
+// leaves it returns nil (the parent registers the feed).
+func (b *Built) wire(cat *stream.Catalog, preds predicate.Conj, n *Node, opt Options) operator.Op {
+	if n.IsLeaf() {
+		panic("plan: wire called on leaf")
+	}
+	var leftProd, rightProd operator.Producer
+	var leftOp, rightOp *core.JoinOp
+	if !n.Left.IsLeaf() {
+		leftOp = b.wire(cat, preds, n.Left, opt).(*core.JoinOp)
+		leftProd = leftOp
+	}
+	if !n.Right.IsLeaf() {
+		rightOp = b.wire(cat, preds, n.Right, opt).(*core.JoinOp)
+		rightProd = rightOp
+	}
+	name := fmt.Sprintf("Op%d", len(b.Joins)+1)
+	j := core.NewJoin(core.Config{
+		Name:         name,
+		NumSources:   cat.NumSources(),
+		Window:       opt.Window,
+		Preds:        preds,
+		Mode:         opt.Mode,
+		Counters:     b.Counters,
+		Account:      b.Account,
+		NextMNS:      b.NextMNS,
+		LeftSources:  n.Left.Sources(),
+		RightSources: n.Right.Sources(),
+		LeftProd:     leftProd,
+		RightProd:    rightProd,
+	})
+	if leftOp != nil {
+		leftOp.SetConsumer(j, operator.Left)
+	} else {
+		b.Feeds[n.Left.Source] = Feed{Op: j, Port: operator.Left}
+	}
+	if rightOp != nil {
+		rightOp.SetConsumer(j, operator.Right)
+	} else {
+		b.Feeds[n.Right.Source] = Feed{Op: j, Port: operator.Right}
+	}
+	b.Joins = append(b.Joins, j)
+	return j
+}
+
+// Sweep runs the expiry sweep over every join, producers first.
+func (b *Built) Sweep(now stream.Time) {
+	for _, j := range b.Joins {
+		j.Sweep(now)
+	}
+}
+
+// Describe renders a one-line summary of the plan.
+func (b *Built) Describe() string {
+	var parts []string
+	for _, j := range b.Joins {
+		parts = append(parts, j.String())
+	}
+	return strings.Join(parts, " ; ")
+}

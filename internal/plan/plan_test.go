@@ -1,0 +1,94 @@
+package plan
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/predicate"
+	"repro/internal/stream"
+)
+
+// TestTableIIShapes verifies the plan shapes against Table II of the paper.
+func TestTableIIShapes(t *testing.T) {
+	// Rendered with explicit outer parentheses; the inner structure matches
+	// Table II exactly.
+	bushy := map[int]string{
+		4: "((A B) (C D))",
+		5: "(((A B) (C D)) E)",
+		6: "(((A B) (C D)) (E F))",
+		7: "(((A B) (C D)) ((E F) G))",
+		8: "(((A B) (C D)) ((E F) (G H)))",
+	}
+	for n, want := range bushy {
+		cat, _ := predicate.Clique(n)
+		got := Bushy(n).Render(cat)
+		if got != want {
+			t.Errorf("bushy N=%d: got %s want %s", n, got, want)
+		}
+	}
+	ld := map[int]string{
+		3: "((A B) C)",
+		4: "(((A B) C) D)",
+		5: "((((A B) C) D) E)",
+		6: "(((((A B) C) D) E) F)",
+	}
+	for n, want := range ld {
+		cat, _ := predicate.Clique(n)
+		got := LeftDeep(n).Render(cat)
+		if got != want {
+			t.Errorf("left-deep N=%d: got %s want %s", n, got, want)
+		}
+	}
+}
+
+func TestNodeSources(t *testing.T) {
+	n := J(J(Leaf(0), Leaf(1)), Leaf(2))
+	if n.Sources().Count() != 3 || !n.Sources().Has(2) {
+		t.Fatal("sources wrong")
+	}
+	if !Leaf(1).IsLeaf() || n.IsLeaf() {
+		t.Fatal("leaf detection wrong")
+	}
+}
+
+func TestBuildTreeWiring(t *testing.T) {
+	cat, conj := predicate.Clique(4)
+	b := BuildTree(cat, conj, Bushy(4), Options{Window: stream.Minute, Mode: core.JIT()})
+	if len(b.Joins) != 3 {
+		t.Fatalf("want 3 joins for N=4, got %d", len(b.Joins))
+	}
+	// Bottom-up order: the root must come last.
+	root := b.Joins[len(b.Joins)-1]
+	if root.OutSources().Count() != 4 {
+		t.Fatalf("root covers %v", root.OutSources())
+	}
+	// Every source has a feed.
+	for i := 0; i < 4; i++ {
+		if _, ok := b.Feeds[stream.SourceID(i)]; !ok {
+			t.Fatalf("source %d has no feed", i)
+		}
+	}
+	// MNS ids unique and monotonic.
+	a, bid := b.NextMNS(), b.NextMNS()
+	if a == 0 || bid <= a {
+		t.Fatal("NextMNS not monotonic")
+	}
+	if b.Describe() == "" {
+		t.Fatal("empty description")
+	}
+}
+
+func TestBuildLeftDeep(t *testing.T) {
+	cat, conj := predicate.Clique(5)
+	b := BuildTree(cat, conj, LeftDeep(5), Options{Window: stream.Minute, Mode: core.REF()})
+	if len(b.Joins) != 4 {
+		t.Fatalf("want 4 joins for left-deep N=5, got %d", len(b.Joins))
+	}
+	// In a left-deep plan every non-leaf join's right input is a raw source.
+	for i, j := range b.Joins {
+		if i == 0 {
+			continue
+		}
+		_ = j
+	}
+}

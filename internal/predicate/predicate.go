@@ -1,0 +1,285 @@
+// Package predicate models the join and selection conditions of a
+// continuous query. Queries are conjunctions of equi-join predicates between
+// source columns (the paper's clique-join workloads) plus optional
+// single-source selection filters (Sec. V, Fig. 9a).
+package predicate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/stream"
+)
+
+// Eq is one equi-join predicate: Left.LCol = Right.RCol.
+type Eq struct {
+	Left  stream.SourceID
+	LCol  int
+	Right stream.SourceID
+	RCol  int
+}
+
+// Touches reports whether the predicate references the given source.
+func (e Eq) Touches(id stream.SourceID) bool { return e.Left == id || e.Right == id }
+
+// Across reports whether the predicate links a source in a to a source in b.
+func (e Eq) Across(a, b stream.SourceSet) bool {
+	return (a.Has(e.Left) && b.Has(e.Right)) || (a.Has(e.Right) && b.Has(e.Left))
+}
+
+// Holds evaluates the predicate on two composites that, together, contain
+// both endpoints. Missing components make the predicate vacuously true
+// (it will be checked by a later operator that sees both sides).
+func (e Eq) Holds(a, b *stream.Composite) bool {
+	lt := a.Comp(e.Left)
+	if lt == nil {
+		lt = b.Comp(e.Left)
+	}
+	rt := a.Comp(e.Right)
+	if rt == nil {
+		rt = b.Comp(e.Right)
+	}
+	if lt == nil || rt == nil {
+		return true
+	}
+	return lt.Vals[e.LCol] == rt.Vals[e.RCol]
+}
+
+// HoldsOn evaluates the predicate on a single composite, vacuously true when
+// an endpoint is missing.
+func (e Eq) HoldsOn(c *stream.Composite) bool {
+	lt, rt := c.Comp(e.Left), c.Comp(e.Right)
+	if lt == nil || rt == nil {
+		return true
+	}
+	return lt.Vals[e.LCol] == rt.Vals[e.RCol]
+}
+
+func (e Eq) String() string {
+	return fmt.Sprintf("s%d.c%d=s%d.c%d", e.Left, e.LCol, e.Right, e.RCol)
+}
+
+// Conj is a conjunction of equi-join predicates — the WHERE clause of the
+// query as far as joins are concerned.
+type Conj []Eq
+
+// Between returns the sub-conjunction of predicates that link set a to set
+// b. These are exactly the predicates a join of a and b must evaluate.
+func (c Conj) Between(a, b stream.SourceSet) Conj {
+	var out Conj
+	for _, e := range c {
+		if e.Across(a, b) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TouchingAcross returns the predicates that link the single source src to
+// any source in the opposite set.
+func (c Conj) TouchingAcross(src stream.SourceID, opposite stream.SourceSet) Conj {
+	var out Conj
+	for _, e := range c {
+		if e.Left == src && opposite.Has(e.Right) {
+			out = append(out, e)
+		} else if e.Right == src && opposite.Has(e.Left) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// SourcesLinkedTo returns, for a composite over set own, the subset of its
+// sources that participate in at least one predicate crossing to opposite.
+// These are the lattice atoms of Identify_MNS.
+func (c Conj) SourcesLinkedTo(own, opposite stream.SourceSet) []stream.SourceID {
+	var set stream.SourceSet
+	for _, e := range c {
+		if own.Has(e.Left) && opposite.Has(e.Right) {
+			set = set.Add(e.Left)
+		}
+		if own.Has(e.Right) && opposite.Has(e.Left) {
+			set = set.Add(e.Right)
+		}
+	}
+	return set.IDs()
+}
+
+// EvalPair evaluates every predicate linking composites a and b. Predicates
+// with both endpoints inside a (or inside b) are assumed already checked
+// upstream and skipped; n reports how many predicates were actually
+// evaluated so callers can charge comparison costs precisely.
+func (c Conj) EvalPair(a, b *stream.Composite) (ok bool, n int) {
+	for _, e := range c {
+		if !e.Across(a.Sources, b.Sources) {
+			continue
+		}
+		n++
+		if !e.Holds(a, b) {
+			return false, n
+		}
+	}
+	return true, n
+}
+
+// JoinAttrs returns the set of (source, column) pairs of the given source
+// that appear in predicates crossing to the opposite set. These columns form
+// the MNS key signature used for same-signature generalization (the a2
+// example of Sec. IV-B).
+func (c Conj) JoinAttrs(src stream.SourceID, opposite stream.SourceSet) []Attr {
+	seen := map[Attr]bool{}
+	var out []Attr
+	for _, e := range c {
+		if e.Left == src && opposite.Has(e.Right) {
+			a := Attr{Source: src, Col: e.LCol}
+			if !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+		}
+		if e.Right == src && opposite.Has(e.Left) {
+			a := Attr{Source: src, Col: e.RCol}
+			if !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Source != out[j].Source {
+			return out[i].Source < out[j].Source
+		}
+		return out[i].Col < out[j].Col
+	})
+	return out
+}
+
+func (c Conj) String() string {
+	parts := make([]string, len(c))
+	for i, e := range c {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// Attr identifies one column of one source.
+type Attr struct {
+	Source stream.SourceID
+	Col    int
+}
+
+func (a Attr) String() string { return fmt.Sprintf("s%d.c%d", a.Source, a.Col) }
+
+// CmpOp is a comparison operator for selection predicates.
+type CmpOp int
+
+// Supported comparison operators.
+const (
+	LT CmpOp = iota
+	LE
+	EQ
+	NE
+	GE
+	GT
+)
+
+func (o CmpOp) String() string {
+	switch o {
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case EQ:
+		return "="
+	case NE:
+		return "!="
+	case GE:
+		return ">="
+	case GT:
+		return ">"
+	}
+	return "?"
+}
+
+// Eval applies the operator to two values.
+func (o CmpOp) Eval(a, b stream.Value) bool {
+	switch o {
+	case LT:
+		return a < b
+	case LE:
+		return a <= b
+	case EQ:
+		return a == b
+	case NE:
+		return a != b
+	case GE:
+		return a >= b
+	case GT:
+		return a > b
+	}
+	return false
+}
+
+// Selection is a single-source filter such as A.x > 200 (Fig. 9a).
+type Selection struct {
+	Source stream.SourceID
+	Col    int
+	Op     CmpOp
+	Const  stream.Value
+}
+
+// Holds evaluates the filter on a composite; vacuously true when the source
+// is absent.
+func (s Selection) Holds(c *stream.Composite) bool {
+	t := c.Comp(s.Source)
+	if t == nil {
+		return true
+	}
+	return s.Op.Eval(t.Vals[s.Col], s.Const)
+}
+
+func (s Selection) String() string {
+	return fmt.Sprintf("s%d.c%d %s %d", s.Source, s.Col, s.Op, s.Const)
+}
+
+// Clique builds the paper's evaluation predicate (Sec. VI): one equi-join
+// condition between every pair of the catalog's N sources, each on a
+// distinct column. Every source has N-1 columns, one per partner; the column
+// a source uses for partner j is the rank of j among the source's other
+// partners. For N=4 this yields the paper's example
+// (A.x1=B.x1) ∧ (A.x2=C.x2) ∧ ... ∧ (C.x6=D.x6).
+func Clique(n int) (cat *stream.Catalog, conj Conj) {
+	cat = stream.NewCatalog()
+	for i := 0; i < n; i++ {
+		cols := make([]string, 0, n-1)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			cols = append(cols, fmt.Sprintf("x_%c", 'A'+j))
+		}
+		name := string(rune('A' + i))
+		cat.MustAdd(stream.NewSchema(name, cols...))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			conj = append(conj, Eq{
+				Left:  stream.SourceID(i),
+				LCol:  colFor(i, j),
+				Right: stream.SourceID(j),
+				RCol:  colFor(j, i),
+			})
+		}
+	}
+	return cat, conj
+}
+
+// colFor returns the column index source i uses for partner j under the
+// clique layout above.
+func colFor(i, j int) int {
+	if j < i {
+		return j
+	}
+	return j - 1
+}

@@ -1,0 +1,92 @@
+package source
+
+import (
+	"testing"
+
+	"repro/internal/predicate"
+	"repro/internal/stream"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cat, _ := predicate.Clique(3)
+	cfg := UniformConfig(3, 2.0, 10, 30*stream.Second, 42)
+	a := Generate(cat, cfg)
+	b := Generate(cat, cfg)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].TS != b[i].TS || a[i].Source != b[i].Source || a[i].Vals[0] != b[i].Vals[0] {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+}
+
+func TestGenerateOrderAndBounds(t *testing.T) {
+	cat, _ := predicate.Clique(4)
+	cfg := UniformConfig(4, 1.5, 7, 60*stream.Second, 3)
+	all := Generate(cat, cfg)
+	var last stream.Time
+	counts := make([]int, 4)
+	for i, tup := range all {
+		if tup.TS < last {
+			t.Fatalf("out of order at %d", i)
+		}
+		last = tup.TS
+		if tup.TS >= 60*stream.Second {
+			t.Fatalf("tuple beyond horizon: %v", tup.TS)
+		}
+		if tup.ID != uint64(i+1) {
+			t.Fatalf("ids not sequential")
+		}
+		counts[tup.Source]++
+		for _, v := range tup.Vals {
+			if v < 1 || v > 7 {
+				t.Fatalf("value %d out of [1..7]", v)
+			}
+		}
+	}
+	// λ=1.5/s over 60s → ~90 tuples/source; allow wide slack.
+	for s, n := range counts {
+		if n < 45 || n > 180 {
+			t.Errorf("source %d count %d implausible for λ=1.5", s, n)
+		}
+	}
+}
+
+func TestPerColumnDomainOverride(t *testing.T) {
+	cat, _ := predicate.Clique(3)
+	cfg := UniformConfig(3, 5.0, 5, 30*stream.Second, 9)
+	spec := cfg.Specs[2]
+	spec.DMaxByCol = map[int]int64{0: 500}
+	cfg.Specs[2] = spec
+	all := Generate(cat, cfg)
+	sawBig := false
+	for _, tup := range all {
+		if tup.Source != 2 {
+			continue
+		}
+		if tup.Vals[0] > 5 {
+			sawBig = true
+		}
+		if tup.Vals[1] > 5 {
+			t.Fatalf("non-overridden column out of range: %d", tup.Vals[1])
+		}
+	}
+	if !sawBig {
+		t.Fatal("override seems ignored (no value above base domain)")
+	}
+}
+
+func TestBurstAndMerge(t *testing.T) {
+	cat, _ := predicate.Clique(2)
+	a := Burst(cat, 0, 100, []stream.Value{1}, []stream.Value{2})
+	b := Burst(cat, 1, 50, []stream.Value{3})
+	all := Merge(a, b)
+	if len(all) != 3 || all[0].Source != 1 || all[0].TS != 50 {
+		t.Fatalf("merge order wrong: %v", all)
+	}
+	if all[1].ID != 2 || all[2].ID != 3 {
+		t.Fatal("merge ids wrong")
+	}
+}

@@ -1,0 +1,221 @@
+// Package state implements sliding-window operator states: the S_A, S_B,
+// S_AB, ... rectangles of the paper's execution plans. A State stores live
+// composites in arrival order, purges them when their oldest component
+// leaves the window, and hands out *stable sequence numbers* that the JIT
+// resumption protocol uses as exact "already joined up to here" cursors.
+//
+// Sequence discipline (see DESIGN.md §2): every tuple entering one side of a
+// join — whether it lands in the active state or is diverted to a blacklist
+// — draws a sequence number from that side's single monotonic counter and
+// keeps it for life. A suspended tuple's cursor is the opposite side's
+// watermark at deactivation; resumption joins it with opposite tuples whose
+// sequence exceeds the cursor. This reproduces the paper's worked example
+// (a1 re-joined with b2–b4, a2 with b1–b4) and guarantees exactly-once
+// result generation.
+package state
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/stream"
+)
+
+// Entry is a stored composite together with its stable sequence number.
+type Entry struct {
+	C   *stream.Composite
+	Seq uint64
+}
+
+// Side is the shared sequence space for one input side of a join: the
+// active State and any blacklist entries on that side draw from the same
+// counter, so cursors are totally ordered across both.
+type Side struct {
+	seq uint64
+}
+
+// Next draws the next sequence number.
+func (s *Side) Next() uint64 {
+	s.seq++
+	return s.seq
+}
+
+// Watermark returns the highest sequence number issued so far.
+func (s *Side) Watermark() uint64 { return s.seq }
+
+// State is one sliding-window operator state.
+type State struct {
+	name    string
+	side    *Side
+	acct    *metrics.Account
+	entries []Entry // arrival order == ascending Seq
+	version uint64  // incremented on every mutation (probe-loop resync)
+}
+
+// New creates a state drawing sequence numbers from side and charging
+// memory to acct. Both may be shared with blacklists on the same join side.
+func New(name string, side *Side, acct *metrics.Account) *State {
+	return &State{name: name, side: side, acct: acct}
+}
+
+// Name returns the state's label (e.g. "S_AB").
+func (s *State) Name() string { return s.name }
+
+// Side returns the sequence space the state draws from.
+func (s *State) Side() *Side { return s.side }
+
+// Len returns the number of live entries.
+func (s *State) Len() int { return len(s.entries) }
+
+// Empty reports whether the state holds no live tuples.
+func (s *State) Empty() bool { return len(s.entries) == 0 }
+
+// Insert appends a fresh composite, drawing a new sequence number.
+func (s *State) Insert(c *stream.Composite) Entry {
+	e := Entry{C: c, Seq: s.side.Next()}
+	s.version++
+	s.entries = append(s.entries, e)
+	s.acct.Alloc(c.DeepSizeBytes())
+	return e
+}
+
+// Reinsert places an entry with a pre-drawn sequence number into the state,
+// preserving ascending-seq order. Used both for fresh inputs (whose sequence
+// is drawn at probe start, before insertion) and for tuples reactivated out
+// of a blacklist (which keep their original sequence for life).
+func (s *State) Reinsert(e Entry) {
+	s.version++
+	s.acct.Alloc(e.C.DeepSizeBytes())
+	// Common case: reactivated tuples are older than the newest live ones,
+	// so walk back from the end to find the insertion point.
+	i := len(s.entries)
+	for i > 0 && s.entries[i-1].Seq > e.Seq {
+		i--
+	}
+	s.entries = append(s.entries, Entry{})
+	copy(s.entries[i+1:], s.entries[i:])
+	s.entries[i] = e
+}
+
+// Purge removes entries whose oldest component has expired: MinTS + w <= now.
+// It returns the number purged. Entries are in arrival order but MinTS is
+// not monotone in general (a composite's MinTS can predate its arrival), so
+// the scan filters rather than truncates a prefix.
+func (s *State) Purge(now, window stream.Time) int {
+	kept := s.entries[:0]
+	purged := 0
+	for _, e := range s.entries {
+		if e.C.MinTS+window <= now {
+			s.acct.Free(e.C.DeepSizeBytes())
+			purged++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	if purged > 0 {
+		s.version++
+	}
+	// Zero the tail so purged composites are collectable.
+	for i := len(kept); i < len(s.entries); i++ {
+		s.entries[i] = Entry{}
+	}
+	s.entries = kept
+	return purged
+}
+
+// Remove deletes the entry holding exactly this composite and returns it
+// (with its sequence number) for transfer into a blacklist. The boolean is
+// false when the composite is not present.
+func (s *State) Remove(c *stream.Composite) (Entry, bool) {
+	for i, e := range s.entries {
+		if e.C == c {
+			s.version++
+			s.acct.Free(c.DeepSizeBytes())
+			copy(s.entries[i:], s.entries[i+1:])
+			s.entries[len(s.entries)-1] = Entry{}
+			s.entries = s.entries[:len(s.entries)-1]
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// RemoveIf extracts every entry for which pred returns true, preserving
+// order among both kept and removed entries.
+func (s *State) RemoveIf(pred func(*stream.Composite) bool) []Entry {
+	var removed []Entry
+	kept := s.entries[:0]
+	for _, e := range s.entries {
+		if pred(e.C) {
+			removed = append(removed, e)
+			s.acct.Free(e.C.DeepSizeBytes())
+			continue
+		}
+		kept = append(kept, e)
+	}
+	if len(removed) > 0 {
+		s.version++
+	}
+	for i := len(kept); i < len(s.entries); i++ {
+		s.entries[i] = Entry{}
+	}
+	s.entries = kept
+	return removed
+}
+
+// Scan visits every live entry in arrival order. The visitor returns false
+// to stop early (used when a suspension feedback aborts an in-progress
+// probe, Sec. III-B).
+func (s *State) Scan(visit func(Entry) bool) {
+	for _, e := range s.entries {
+		if !visit(e) {
+			return
+		}
+	}
+}
+
+// ScanAfter visits live entries with sequence numbers strictly greater than
+// cursor, in arrival order — the resumption catch-up scan.
+func (s *State) ScanAfter(cursor uint64, visit func(Entry) bool) {
+	for _, e := range s.entries {
+		if e.Seq <= cursor {
+			continue
+		}
+		if !visit(e) {
+			return
+		}
+	}
+}
+
+// Entries returns a snapshot copy of the live entries, for tests and debug
+// dumps.
+func (s *State) Entries() []Entry {
+	return append([]Entry(nil), s.entries...)
+}
+
+// Version returns the mutation counter. Probe loops snapshot it and, when it
+// changes mid-scan (a feedback removed or added entries re-entrantly),
+// re-synchronize via IndexAfter on the last processed sequence number.
+func (s *State) Version() uint64 { return s.version }
+
+// At returns the i-th live entry in arrival order.
+func (s *State) At(i int) Entry { return s.entries[i] }
+
+// IndexAfter returns the index of the first entry with sequence strictly
+// greater than seq (binary search over the ascending-seq slice).
+func (s *State) IndexAfter(seq uint64) int {
+	lo, hi := 0, len(s.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.entries[mid].Seq <= seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func (s *State) String() string {
+	return fmt.Sprintf("%s[%d]", s.name, len(s.entries))
+}

@@ -1,0 +1,405 @@
+// Package stream defines the data model of the DSMS: application time,
+// column values, per-source schemas, base tuples and composite (joined)
+// tuples, together with the sub-tuple relation that underpins the JIT
+// feedback mechanism (MNS / NPR detection).
+//
+// Terminology follows Yang & Papadias, "Just-In-Time Processing of
+// Continuous Queries" (ICDE 2008):
+//
+//   - a base tuple is a record arriving from one streaming source;
+//   - a composite is a (partial) join result holding one base tuple per
+//     participating source;
+//   - s is a sub-tuple of t when every component of s also appears in t.
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Time is application time in milliseconds. All window arithmetic is done in
+// this unit; wall-clock time never enters the semantics of the engine.
+type Time int64
+
+// Common durations expressed in Time units.
+const (
+	Millisecond Time = 1
+	Second      Time = 1000 * Millisecond
+	Minute      Time = 60 * Second
+	Hour        Time = 60 * Minute
+)
+
+func (t Time) String() string {
+	if t%Minute == 0 {
+		return fmt.Sprintf("%dm", int64(t/Minute))
+	}
+	if t%Second == 0 {
+		return fmt.Sprintf("%ds", int64(t/Second))
+	}
+	return fmt.Sprintf("%dms", int64(t))
+}
+
+// Value is a column value. The paper's workloads use integer domains
+// [1..dmax]; using a fixed-width integer keeps tuples compact and makes
+// memory accounting exact.
+type Value int64
+
+// SourceID identifies a streaming source within a Catalog.
+type SourceID int
+
+// SourceSet is a bitmask over SourceIDs. Plans in this repo never exceed 64
+// sources, far above the paper's maximum of N=8.
+type SourceSet uint64
+
+// Add returns s with the given source included.
+func (s SourceSet) Add(id SourceID) SourceSet { return s | 1<<uint(id) }
+
+// Has reports whether id is a member of s.
+func (s SourceSet) Has(id SourceID) bool { return s&(1<<uint(id)) != 0 }
+
+// Union returns the set union of s and o.
+func (s SourceSet) Union(o SourceSet) SourceSet { return s | o }
+
+// Intersects reports whether s and o share any source.
+func (s SourceSet) Intersects(o SourceSet) bool { return s&o != 0 }
+
+// Contains reports whether every member of o is also in s.
+func (s SourceSet) Contains(o SourceSet) bool { return s&o == o }
+
+// Empty reports whether the set has no members.
+func (s SourceSet) Empty() bool { return s == 0 }
+
+// Count returns the number of sources in the set.
+func (s SourceSet) Count() int {
+	n := 0
+	for v := uint64(s); v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// IDs returns the members in ascending order.
+func (s SourceSet) IDs() []SourceID {
+	ids := make([]SourceID, 0, s.Count())
+	for i := SourceID(0); s != 0; i++ {
+		if s.Has(i) {
+			ids = append(ids, i)
+			s &^= 1 << uint(i)
+		}
+	}
+	return ids
+}
+
+func (s SourceSet) String() string {
+	parts := make([]string, 0, s.Count())
+	for _, id := range s.IDs() {
+		parts = append(parts, fmt.Sprintf("%d", id))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Schema describes the columns of one streaming source.
+type Schema struct {
+	Name string
+	Cols []string
+
+	id     SourceID
+	colIdx map[string]int
+}
+
+// NewSchema builds a schema with the given source name and column names.
+func NewSchema(name string, cols ...string) *Schema {
+	s := &Schema{Name: name, Cols: append([]string(nil), cols...), colIdx: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		s.colIdx[c] = i
+	}
+	return s
+}
+
+// ID returns the source's identifier within its catalog. Valid only after
+// the schema has been registered with a Catalog.
+func (s *Schema) ID() SourceID { return s.id }
+
+// ColIndex returns the index of the named column and whether it exists.
+func (s *Schema) ColIndex(name string) (int, bool) {
+	i, ok := s.colIdx[name]
+	return i, ok
+}
+
+// NumCols returns the number of columns.
+func (s *Schema) NumCols() int { return len(s.Cols) }
+
+// Catalog is the set of sources participating in a query.
+type Catalog struct {
+	schemas []*Schema
+	byName  map[string]*Schema
+}
+
+// NewCatalog creates an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{byName: make(map[string]*Schema)}
+}
+
+// Add registers a schema and assigns its SourceID. It returns an error when
+// the name is already taken.
+func (c *Catalog) Add(s *Schema) (SourceID, error) {
+	if _, dup := c.byName[s.Name]; dup {
+		return 0, fmt.Errorf("stream: duplicate source %q", s.Name)
+	}
+	s.id = SourceID(len(c.schemas))
+	c.schemas = append(c.schemas, s)
+	c.byName[s.Name] = s
+	return s.id, nil
+}
+
+// MustAdd is Add but panics on error; convenient for static catalogs.
+func (c *Catalog) MustAdd(s *Schema) SourceID {
+	id, err := c.Add(s)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Source returns the schema with the given id.
+func (c *Catalog) Source(id SourceID) *Schema { return c.schemas[id] }
+
+// ByName returns the schema with the given name, if registered.
+func (c *Catalog) ByName(name string) (*Schema, bool) {
+	s, ok := c.byName[name]
+	return s, ok
+}
+
+// NumSources returns the number of registered sources.
+func (c *Catalog) NumSources() int { return len(c.schemas) }
+
+// AllSources returns the set of every registered source.
+func (c *Catalog) AllSources() SourceSet {
+	var s SourceSet
+	for i := range c.schemas {
+		s = s.Add(SourceID(i))
+	}
+	return s
+}
+
+// Names returns the source names in id order.
+func (c *Catalog) Names() []string {
+	out := make([]string, len(c.schemas))
+	for i, s := range c.schemas {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Tuple is a base tuple: one record from one source.
+type Tuple struct {
+	// ID is unique across the whole run; assigned by the generator or
+	// engine at arrival.
+	ID uint64
+	// Source identifies the origin stream.
+	Source SourceID
+	// TS is the arrival timestamp; the tuple is alive during [TS, TS+w).
+	TS Time
+	// Vals holds one Value per schema column.
+	Vals []Value
+}
+
+// SizeBytes estimates the in-memory footprint of the tuple for the memory
+// accounting used by the experiments (struct header + value payload).
+func (t *Tuple) SizeBytes() int64 {
+	// 8 (ID) + 8 (Source, padded) + 8 (TS) + slice header 24 + payload.
+	return 48 + int64(len(t.Vals))*8
+}
+
+func (t *Tuple) String() string {
+	return fmt.Sprintf("%c%d", 'a'+rune(t.Source), t.ID)
+}
+
+// Composite is a (partial) join result: at most one base tuple per source.
+// A raw source tuple is wrapped in a single-component composite so that all
+// operator inputs share one representation.
+type Composite struct {
+	// TS is the composite's timestamp: the maximum of its components'
+	// timestamps (the earliest time the composite could exist).
+	TS Time
+	// MinTS is the minimum component timestamp; the composite expires when
+	// MinTS + w <= now, because its oldest component can no longer join.
+	MinTS Time
+	// Comps maps SourceID -> base tuple; nil entries mean the source is
+	// absent. The slice is sized to the catalog's source count.
+	Comps []*Tuple
+	// Sources is the set of sources present, kept in sync with Comps.
+	Sources SourceSet
+	// Marks is the set of active mark-result identifiers this composite
+	// carries (Type II MNS handling, Sec. IV-B). Nil when unmarked, which is
+	// the overwhelmingly common case.
+	Marks map[uint64]bool
+}
+
+// NewComposite wraps a base tuple in a composite, given the catalog size.
+func NewComposite(numSources int, t *Tuple) *Composite {
+	c := &Composite{
+		TS:      t.TS,
+		MinTS:   t.TS,
+		Comps:   make([]*Tuple, numSources),
+		Sources: SourceSet(0).Add(t.Source),
+	}
+	c.Comps[t.Source] = t
+	return c
+}
+
+// Join combines two composites with disjoint source sets into a new one.
+// The timestamp is the max of the two (per CQL semantics), the expiry
+// anchor the min. Marks are unioned. Join panics if the source sets overlap,
+// which would indicate a malformed plan.
+func Join(a, b *Composite) *Composite {
+	if a.Sources.Intersects(b.Sources) {
+		panic(fmt.Sprintf("stream: joining overlapping composites %v and %v", a.Sources, b.Sources))
+	}
+	c := &Composite{
+		TS:      maxTime(a.TS, b.TS),
+		MinTS:   minTime(a.MinTS, b.MinTS),
+		Comps:   make([]*Tuple, len(a.Comps)),
+		Sources: a.Sources.Union(b.Sources),
+	}
+	copy(c.Comps, a.Comps)
+	for i, t := range b.Comps {
+		if t != nil {
+			c.Comps[i] = t
+		}
+	}
+	if len(a.Marks) > 0 || len(b.Marks) > 0 {
+		c.Marks = make(map[uint64]bool, len(a.Marks)+len(b.Marks))
+		for m := range a.Marks {
+			c.Marks[m] = true
+		}
+		for m := range b.Marks {
+			c.Marks[m] = true
+		}
+	}
+	return c
+}
+
+// Comp returns the component from the given source, or nil.
+func (c *Composite) Comp(id SourceID) *Tuple { return c.Comps[id] }
+
+// HasMark reports whether the composite carries the given mark id.
+func (c *Composite) HasMark(m uint64) bool { return c.Marks != nil && c.Marks[m] }
+
+// AddMark tags the composite with a mark id.
+func (c *Composite) AddMark(m uint64) {
+	if c.Marks == nil {
+		c.Marks = make(map[uint64]bool, 1)
+	}
+	c.Marks[m] = true
+}
+
+// RemoveMark clears a mark id from the composite.
+func (c *Composite) RemoveMark(m uint64) {
+	if c.Marks != nil {
+		delete(c.Marks, m)
+	}
+}
+
+// IsSubTuple reports whether every component of c also appears in t
+// (matching by tuple identity). The empty composite is a sub-tuple of
+// everything, mirroring the paper's empty tuple Ø.
+func (c *Composite) IsSubTuple(t *Composite) bool {
+	if !t.Sources.Contains(c.Sources) {
+		return false
+	}
+	for i, comp := range c.Comps {
+		if comp != nil && t.Comps[i] != comp {
+			return false
+		}
+	}
+	return true
+}
+
+// Project returns the sub-composite of c restricted to the given sources.
+// All requested sources must be present.
+func (c *Composite) Project(set SourceSet) *Composite {
+	if !c.Sources.Contains(set) {
+		panic(fmt.Sprintf("stream: projecting %v out of %v", set, c.Sources))
+	}
+	p := &Composite{Comps: make([]*Tuple, len(c.Comps))}
+	first := true
+	for _, id := range set.IDs() {
+		t := c.Comps[id]
+		p.Comps[id] = t
+		p.Sources = p.Sources.Add(id)
+		if first {
+			p.TS, p.MinTS = t.TS, t.TS
+			first = false
+		} else {
+			p.TS = maxTime(p.TS, t.TS)
+			p.MinTS = minTime(p.MinTS, t.TS)
+		}
+	}
+	return p
+}
+
+// Key returns a canonical identity for the composite based on component
+// tuple IDs, usable as a map key for result-set comparison in tests.
+func (c *Composite) Key() string {
+	ids := make([]string, 0, c.Sources.Count())
+	for _, sid := range c.Sources.IDs() {
+		ids = append(ids, fmt.Sprintf("%d:%d", sid, c.Comps[sid].ID))
+	}
+	return strings.Join(ids, "|")
+}
+
+// SizeBytes estimates the memory footprint of the composite itself
+// (components are accounted once where they are stored, not per reference):
+// struct header plus the component pointer slice. The estimate is
+// deliberately independent of the mutable mark set so that a stored
+// composite's accounting charge is stable between insertion and removal.
+func (c *Composite) SizeBytes() int64 {
+	return int64(64) + int64(len(c.Comps))*8
+}
+
+// DeepSizeBytes additionally charges the payload of each component. Operator
+// states use this: a stored partial result keeps its base tuples alive.
+func (c *Composite) DeepSizeBytes() int64 {
+	n := c.SizeBytes()
+	for _, t := range c.Comps {
+		if t != nil {
+			n += t.SizeBytes()
+		}
+	}
+	return n
+}
+
+func (c *Composite) String() string {
+	parts := make([]string, 0, c.Sources.Count())
+	for _, sid := range c.Sources.IDs() {
+		parts = append(parts, c.Comps[sid].String())
+	}
+	return strings.Join(parts, "")
+}
+
+// SortComposites orders composites by (TS, Key) for deterministic
+// comparisons in tests and result dumps.
+func SortComposites(cs []*Composite) {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].TS != cs[j].TS {
+			return cs[i].TS < cs[j].TS
+		}
+		return cs[i].Key() < cs[j].Key()
+	})
+}
+
+func maxTime(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minTime(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,178 @@
+package stream
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSourceSet(t *testing.T) {
+	var s SourceSet
+	if !s.Empty() || s.Count() != 0 {
+		t.Fatalf("zero set not empty")
+	}
+	s = s.Add(0).Add(3).Add(3)
+	if s.Count() != 2 || !s.Has(0) || !s.Has(3) || s.Has(1) {
+		t.Fatalf("bad membership: %v", s)
+	}
+	o := SourceSet(0).Add(1).Add(3)
+	if !s.Intersects(o) || s.Contains(o) {
+		t.Fatalf("bad set relations")
+	}
+	u := s.Union(o)
+	if u.Count() != 3 || !u.Contains(s) || !u.Contains(o) {
+		t.Fatalf("bad union %v", u)
+	}
+	ids := u.IDs()
+	if len(ids) != 3 || ids[0] != 0 || ids[1] != 1 || ids[2] != 3 {
+		t.Fatalf("bad IDs %v", ids)
+	}
+}
+
+func TestSourceSetProperties(t *testing.T) {
+	f := func(a, b uint16) bool {
+		sa, sb := SourceSet(a), SourceSet(b)
+		u := sa.Union(sb)
+		// Union contains both; intersection symmetric; count additive.
+		if !u.Contains(sa) || !u.Contains(sb) {
+			return false
+		}
+		if sa.Intersects(sb) != sb.Intersects(sa) {
+			return false
+		}
+		return u.Count() <= sa.Count()+sb.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	cat := NewCatalog()
+	a := NewSchema("A", "x", "y")
+	idA := cat.MustAdd(a)
+	if idA != 0 || a.ID() != 0 {
+		t.Fatalf("bad id %d", idA)
+	}
+	if _, err := cat.Add(NewSchema("A")); err == nil {
+		t.Fatal("duplicate source accepted")
+	}
+	cat.MustAdd(NewSchema("B", "x"))
+	if cat.NumSources() != 2 {
+		t.Fatalf("want 2 sources")
+	}
+	if s, ok := cat.ByName("B"); !ok || s.Name != "B" {
+		t.Fatal("ByName failed")
+	}
+	if i, ok := a.ColIndex("y"); !ok || i != 1 {
+		t.Fatal("ColIndex failed")
+	}
+	if _, ok := a.ColIndex("z"); ok {
+		t.Fatal("phantom column")
+	}
+	if cat.AllSources().Count() != 2 {
+		t.Fatal("AllSources wrong")
+	}
+}
+
+func mk(t *testing.T, src SourceID, ts Time, vals ...Value) *Tuple {
+	t.Helper()
+	return &Tuple{ID: uint64(ts) + uint64(src)*1000, Source: src, TS: ts, Vals: vals}
+}
+
+func TestCompositeJoin(t *testing.T) {
+	a := NewComposite(3, mk(t, 0, 10, 1, 2))
+	b := NewComposite(3, mk(t, 1, 5, 1))
+	ab := Join(a, b)
+	if ab.TS != 10 || ab.MinTS != 5 {
+		t.Fatalf("timestamps: ts=%v min=%v", ab.TS, ab.MinTS)
+	}
+	if !ab.Sources.Has(0) || !ab.Sources.Has(1) || ab.Sources.Has(2) {
+		t.Fatalf("sources wrong: %v", ab.Sources)
+	}
+	if !a.IsSubTuple(ab) || !b.IsSubTuple(ab) || ab.IsSubTuple(a) {
+		t.Fatal("sub-tuple relation wrong")
+	}
+	// The empty composite is a sub-tuple of everything.
+	empty := &Composite{Comps: make([]*Tuple, 3)}
+	if !empty.IsSubTuple(ab) || !empty.IsSubTuple(a) {
+		t.Fatal("Ø not sub-tuple")
+	}
+}
+
+func TestCompositeJoinOverlapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on overlapping join")
+		}
+	}()
+	a := NewComposite(2, mk(t, 0, 1, 1))
+	b := NewComposite(2, mk(t, 0, 2, 2))
+	Join(a, b)
+}
+
+func TestProject(t *testing.T) {
+	a := NewComposite(3, mk(t, 0, 10, 1))
+	b := NewComposite(3, mk(t, 1, 20, 2))
+	c := NewComposite(3, mk(t, 2, 5, 3))
+	abc := Join(Join(a, b), c)
+	p := abc.Project(SourceSet(0).Add(0).Add(2))
+	if p.Sources.Count() != 2 || p.TS != 10 || p.MinTS != 5 {
+		t.Fatalf("projection wrong: %v ts=%v min=%v", p.Sources, p.TS, p.MinTS)
+	}
+	if !p.IsSubTuple(abc) {
+		t.Fatal("projection not sub-tuple")
+	}
+}
+
+func TestMarks(t *testing.T) {
+	c := NewComposite(2, mk(t, 0, 1, 1))
+	if c.HasMark(7) {
+		t.Fatal("phantom mark")
+	}
+	c.AddMark(7)
+	c.AddMark(9)
+	if !c.HasMark(7) || !c.HasMark(9) {
+		t.Fatal("marks missing")
+	}
+	c.RemoveMark(7)
+	if c.HasMark(7) || !c.HasMark(9) {
+		t.Fatal("remove wrong")
+	}
+	// Mark union through Join.
+	d := NewComposite(2, mk(t, 1, 2, 2))
+	d.AddMark(11)
+	cd := Join(c, d)
+	if !cd.HasMark(9) || !cd.HasMark(11) {
+		t.Fatal("join did not union marks")
+	}
+}
+
+func TestKeysAndSort(t *testing.T) {
+	a := NewComposite(2, mk(t, 0, 3, 1))
+	b := NewComposite(2, mk(t, 1, 1, 1))
+	ab := Join(a, b)
+	if ab.Key() == a.Key() {
+		t.Fatal("keys collide")
+	}
+	list := []*Composite{ab, a, b}
+	SortComposites(list)
+	if list[0].TS > list[1].TS || list[1].TS > list[2].TS {
+		t.Fatal("sort not by TS")
+	}
+}
+
+func TestSizeAccountingStable(t *testing.T) {
+	c := NewComposite(4, mk(t, 0, 1, 1, 2, 3))
+	before := c.DeepSizeBytes()
+	c.AddMark(3)
+	c.AddMark(4)
+	if c.DeepSizeBytes() != before {
+		t.Fatal("size changed with marks; accounting would corrupt")
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if (2*Minute).String() != "2m" || (1500*Millisecond).String() != "1500ms" || (3*Second).String() != "3s" {
+		t.Fatalf("time rendering: %v %v", (2 * Minute).String(), (3 * Second).String())
+	}
+}
