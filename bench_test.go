@@ -17,7 +17,13 @@ package repro_test
 import (
 	"testing"
 
+	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/exp"
+	"repro/internal/plan"
+	"repro/internal/predicate"
+	"repro/internal/source"
+	"repro/internal/stream"
 )
 
 // benchFigure runs one figure per iteration and reports improvement factors.
@@ -80,6 +86,43 @@ func BenchmarkFig16(b *testing.B) { benchFigure(b, exp.Fig16, true) }
 // BenchmarkFig17 regenerates Figure 17: CPU & memory vs max data value dmax
 // (left-deep plan).
 func BenchmarkFig17(b *testing.B) { benchFigure(b, exp.Fig17, true) }
+
+// benchProbe runs a 4-way clique workload with a large window (states grow
+// to thousands of live entries) and reports per-arrival probe cost, with
+// the hash-indexed join states either on or off. The pair of benchmarks
+// quantifies the DESIGN.md §3 claim: indexed probes visit only the
+// matching bucket, so comparisons per arrival collapse from O(|state|) to
+// O(matches).
+func benchProbe(b *testing.B, m core.Mode, noIndex bool) {
+	cat, conj := predicate.Clique(4)
+	arrivals := source.Generate(cat, source.UniformConfig(4, 8, 100, 3*stream.Minute, 1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var cmp float64
+	for i := 0; i < b.N; i++ {
+		p := plan.BuildTree(cat, conj, plan.Bushy(4), plan.Options{
+			Window: 2 * stream.Minute, Mode: m, NoStateIndex: noIndex,
+		})
+		res := engine.New(p).Run(arrivals)
+		cmp = float64(res.Counters.Comparisons) / float64(res.Arrivals)
+	}
+	b.ReportMetric(cmp, "cmp/arrival")
+}
+
+// BenchmarkProbeScanREF is the baseline: linear state scans, no JIT.
+func BenchmarkProbeScanREF(b *testing.B) { benchProbe(b, core.REF(), true) }
+
+// BenchmarkProbeIndexedREF is the same workload over hash-indexed states.
+func BenchmarkProbeIndexedREF(b *testing.B) { benchProbe(b, core.REF(), false) }
+
+// BenchmarkProbeScanJIT runs the full JIT machinery with linear scans.
+func BenchmarkProbeScanJIT(b *testing.B) { benchProbe(b, core.JIT(), true) }
+
+// BenchmarkProbeIndexedJIT adds the index under JIT: fresh probes on
+// leaf-fed sides, resumption catch-up and the detection existence pass all
+// take the bucket walk; only the no-full-match observation rescan stays
+// linear.
+func BenchmarkProbeIndexedJIT(b *testing.B) { benchProbe(b, core.JIT(), false) }
 
 // BenchmarkAblationDefault compares JIT, REF, DOE and Bloom-JIT at the
 // Table III bushy default point — the design-choice ablation called out in

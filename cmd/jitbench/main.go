@@ -8,6 +8,10 @@
 // hours (floored at 2.5 windows); -scale 1 reproduces the full runs.
 // -size optionally scales window and dmax together for quick looks.
 // -ablation adds the DOE and Bloom-JIT modes to the comparison.
+// -indexed runs every point with hash-indexed join states (DESIGN.md §3)
+// instead of the paper's linear scans; under indexing REF's probe cost
+// collapses to the matching pairs, so expect the JIT/REF cost ratios to
+// invert relative to the paper's figures.
 package main
 
 import (
@@ -25,9 +29,10 @@ func main() {
 	size := flag.Float64("size", 1.0, "window/domain size scale (1 = paper-exact)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	ablation := flag.Bool("ablation", false, "include DOE and Bloom-JIT modes")
+	indexed := flag.Bool("indexed", false, "hash-indexed join states instead of the paper's linear scans")
 	flag.Parse()
 
-	cfg := exp.Config{Scale: *scale, SizeScale: *size, Seed: *seed, Modes: exp.DefaultModes()}
+	cfg := exp.Config{Scale: *scale, SizeScale: *size, Seed: *seed, Indexed: *indexed, Modes: exp.DefaultModes()}
 	if *ablation {
 		cfg.Modes = exp.AblationModes()
 	}

@@ -1,0 +1,133 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/operator"
+	"repro/internal/plan"
+	"repro/internal/predicate"
+	"repro/internal/source"
+	"repro/internal/stream"
+)
+
+// runKeys executes one engine over the arrivals and returns the sink's
+// result keys in delivery order.
+func runKeys(cat *stream.Catalog, conj predicate.Conj, shape *plan.Node, arrivals []*stream.Tuple, m core.Mode, noIndex bool) []string {
+	b := plan.BuildTree(cat, conj, shape, plan.Options{
+		Window: 90 * stream.Second, Mode: m, KeepResults: true, NoStateIndex: noIndex,
+	})
+	engine.New(b).Run(arrivals)
+	return b.Sink.ResultKeys()
+}
+
+func sameSequence(t *testing.T, label string, want, got []string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Errorf("%s: %d results with scans, %d with the index", label, len(want), len(got))
+		return
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Errorf("%s: delivery %d differs: scan=%s indexed=%s", label, i, want[i], got[i])
+			return
+		}
+	}
+}
+
+// TestIndexedEquivalentToScan is invariant 4 of DESIGN.md §2 applied to the
+// state index: for every execution mode, an indexed run delivers exactly
+// the same results in exactly the same sink order as a scan-only run.
+func TestIndexedEquivalentToScan(t *testing.T) {
+	modes := []struct {
+		name string
+		m    core.Mode
+	}{
+		{"REF", core.REF()}, {"JIT", core.JIT()},
+		{"DOE", core.DOE()}, {"Bloom", core.BloomJIT()},
+	}
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, bushy := range []bool{true, false} {
+		cat, conj := predicate.Clique(4)
+		shape := plan.Bushy(4)
+		if !bushy {
+			shape = plan.LeftDeep(4)
+		}
+		for _, seed := range seeds {
+			arrivals := source.Generate(cat, source.UniformConfig(4, 0.8, 5, 5*stream.Minute, seed))
+			for _, mode := range modes {
+				label := fmt.Sprintf("%s_bushy%v_seed%d", mode.name, bushy, seed)
+				scan := runKeys(cat, conj, shape, arrivals, mode.m, true)
+				indexed := runKeys(cat, conj, shape, arrivals, mode.m, false)
+				sameSequence(t, label, scan, indexed)
+			}
+		}
+	}
+}
+
+// crossQuery builds a 3-source query whose root join has no crossing
+// predicate: ((A B) C) with only A.x = B.x. The root is a windowed cross
+// product, the no-equi-key fallback case of DESIGN.md §3.
+func crossQuery() (*stream.Catalog, predicate.Conj, *plan.Node) {
+	cat := stream.NewCatalog()
+	cat.MustAdd(stream.NewSchema("A", "x"))
+	cat.MustAdd(stream.NewSchema("B", "x"))
+	cat.MustAdd(stream.NewSchema("C", "y"))
+	conj := predicate.Conj{{Left: 0, LCol: 0, Right: 1, RCol: 0}}
+	return cat, conj, plan.J(plan.J(plan.Leaf(0), plan.Leaf(1)), plan.Leaf(2))
+}
+
+// TestIndexFallbackCrossProduct verifies that a join without crossing equi
+// predicates stays scan-only and that results match an index-disabled run.
+func TestIndexFallbackCrossProduct(t *testing.T) {
+	cat, conj, shape := crossQuery()
+	b := plan.BuildTree(cat, conj, shape, plan.Options{Window: 90 * stream.Second, Mode: core.REF()})
+	if len(b.Joins) != 2 {
+		t.Fatalf("want 2 joins, got %d", len(b.Joins))
+	}
+	// Op1 ({A}×{B}) carries the equi key; the root ({A,B}×{C}) must not.
+	for p := operator.Port(0); p < 2; p++ {
+		if st, _, _ := b.Joins[0].Side(p); !st.Indexed() {
+			t.Errorf("Op1 side %v should be indexed", p)
+		}
+		if st, _, _ := b.Joins[1].Side(p); st.Indexed() {
+			t.Errorf("root side %v must be scan-only (cross product)", p)
+		}
+	}
+	modes := []core.Mode{core.REF(), core.JIT()}
+	if testing.Short() {
+		modes = modes[:1]
+	}
+	for _, m := range modes {
+		arrivals := source.Generate(cat, source.UniformConfig(3, 1.0, 4, 3*stream.Minute, 9))
+		scan := runKeys(cat, conj, shape, arrivals, m, true)
+		indexed := runKeys(cat, conj, shape, arrivals, m, false)
+		if len(scan) == 0 {
+			t.Fatal("workload produced no results; test is vacuous")
+		}
+		sameSequence(t, fmt.Sprintf("cross_%v", m.Detect), scan, indexed)
+	}
+}
+
+// TestIndexDisabledOption verifies the plan-level switch reaches every
+// operator state.
+func TestIndexDisabledOption(t *testing.T) {
+	cat, conj := predicate.Clique(4)
+	b := plan.BuildTree(cat, conj, plan.Bushy(4), plan.Options{
+		Window: time90s(), Mode: core.JIT(), NoStateIndex: true,
+	})
+	for _, j := range b.Joins {
+		for p := operator.Port(0); p < 2; p++ {
+			if st, _, _ := j.Side(p); st.Indexed() {
+				t.Errorf("%s side %v indexed despite NoStateIndex", j.Name(), p)
+			}
+		}
+	}
+}
+
+func time90s() stream.Time { return 90 * stream.Second }

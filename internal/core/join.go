@@ -30,6 +30,14 @@ type Config struct {
 	// LeftSources / RightSources are the source sets of the two inputs.
 	LeftSources  stream.SourceSet
 	RightSources stream.SourceSet
+	// LeftKey / RightKey are the aligned equi-key columns of the crossing
+	// predicates (predicate.Conj.EquiKeyCols): position i of LeftKey and
+	// RightKey are the two endpoints of the same predicate. When set, each
+	// side's state maintains a hash index on its key and probes walk only
+	// the matching bucket (DESIGN.md §3). Nil disables indexing (probes
+	// scan linearly, as the seed implementation always did).
+	LeftKey  []predicate.Attr
+	RightKey []predicate.Attr
 	// LeftProd / RightProd are the upstream producers; nil when the input
 	// is a raw source (no feedback possible on that side).
 	LeftProd  operator.Producer
@@ -45,6 +53,11 @@ type side struct {
 	st      *state.State
 	black   *feedback.Blacklist
 	buf     *feedback.Buffer // MNSs detected on THIS side's inputs
+	// key holds THIS side's half of the aligned equi-key columns: the state
+	// st is indexed on it, and inputs arriving here hash their values at it
+	// to probe the opposite state's index. Nil when indexing is disabled or
+	// no predicate crosses the join.
+	key state.Key
 	// Lattice atoms for inputs arriving on this side: the input's
 	// components that participate in predicates crossing to the opposite
 	// side, with the per-atom predicate lists.
@@ -115,7 +128,11 @@ func NewJoin(cfg Config) *JoinOp {
 		j.mode.MaxAtoms = 12
 	}
 	j.marks = feedback.NewMarkTable(cfg.Account)
-	mk := func(port operator.Port, srcs stream.SourceSet, prod operator.Producer, other stream.SourceSet) *side {
+	if (cfg.LeftKey == nil) != (cfg.RightKey == nil) || len(cfg.LeftKey) != len(cfg.RightKey) {
+		panic(fmt.Sprintf("core: join %q has misaligned keys (%d vs %d columns)",
+			cfg.Name, len(cfg.LeftKey), len(cfg.RightKey)))
+	}
+	mk := func(port operator.Port, srcs stream.SourceSet, prod operator.Producer, other stream.SourceSet, key []predicate.Attr) *side {
 		seq := &state.Side{}
 		s := &side{
 			port:    port,
@@ -125,7 +142,9 @@ func NewJoin(cfg Config) *JoinOp {
 			st:      state.New(fmt.Sprintf("S_%s.%s", cfg.Name, port), seq, cfg.Account),
 			black:   feedback.NewBlacklist(fmt.Sprintf("B_%s.%s", cfg.Name, port), cfg.Account),
 			buf:     feedback.NewBuffer(fmt.Sprintf("NB_%s.%s", cfg.Name, port), cfg.Account),
+			key:     state.Key(key),
 		}
+		s.st.SetKey(s.key)
 		s.atoms = cfg.Preds.SourcesLinkedTo(srcs, other)
 		for _, src := range s.atoms {
 			s.atomPreds = append(s.atomPreds, cfg.Preds.TouchingAcross(src, other))
@@ -137,8 +156,8 @@ func NewJoin(cfg Config) *JoinOp {
 		}
 		return s
 	}
-	j.in[operator.Left] = mk(operator.Left, cfg.LeftSources, cfg.LeftProd, cfg.RightSources)
-	j.in[operator.Right] = mk(operator.Right, cfg.RightSources, cfg.RightProd, cfg.LeftSources)
+	j.in[operator.Left] = mk(operator.Left, cfg.LeftSources, cfg.LeftProd, cfg.RightSources, cfg.LeftKey)
+	j.in[operator.Right] = mk(operator.Right, cfg.RightSources, cfg.RightProd, cfg.LeftSources, cfg.RightKey)
 	return j
 }
 
@@ -361,13 +380,72 @@ func (j *JoinOp) divert(c *stream.Composite, port operator.Port) bool {
 	return true
 }
 
-// probeState scans the opposite state in sequence order, evaluating the
-// crossing predicates pair by pair. The loop is resilient to re-entrant
-// state mutations (suspension feedback triggered by emitted results): it
-// snapshots the state version and re-synchronizes on the last processed
-// sequence number when it changes.
+// probePhase selects joinPair's role within a probe (DESIGN.md §3). A
+// probe without a detection context runs entirely in phaseFull. A detection
+// probe over an indexed state splits in two: an indexed phaseFull pass that
+// performs ALL result bookkeeping (emission, mark-suppression recording,
+// exactly-once dedup), followed — only when that pass produced no full
+// match — by a phaseObserve linear pass that feeds the detection lattice
+// every pair's matched-atom mask and performs no bookkeeping at all. The
+// split keeps every bookkeeping decision single-shot per pair: in
+// particular marks.SuppressedBy, whose choice among several covering marks
+// is not deterministic, is consulted at most once per pair, so a suppressed
+// pair is recorded under exactly one origin entry (recording it under two
+// would generate it twice at their unmarks).
+type probePhase int8
+
+const (
+	phaseFull    probePhase = iota // full bookkeeping (emission, suppression, dedup)
+	phaseExist                     // indexed pass fronting a detection probe
+	phaseObserve                   // detection observation only, no bookkeeping
+)
+
+// probeState probes the opposite state in sequence order, evaluating the
+// crossing predicates pair by pair.
+//
+// When the opposite state is hash-indexed and the input's key columns are
+// all present, the probe walks only the bucket matching the input's key
+// hash (plus unkeyable loose entries) via ProbeNext — the indexed fast path
+// of DESIGN.md §3. Skipped entries differ from the input on some equi
+// column, so they can neither produce results nor change the frame's
+// cursor claims (a pair that fails its equi predicates needs no exactly-
+// once bookkeeping: there is nothing to generate). With a lattice detection
+// context the indexed walk runs first: any full match makes Identify_MNS
+// moot (no lattice node can be alive, and reportMNS is skipped), so the
+// linear observation pass below runs only for inputs with no live partner —
+// exactly the inputs whose suspension the observations then pay for.
+//
+// The linear loop is resilient to re-entrant state mutations (suspension
+// feedback triggered by emitted results): it snapshots the state version
+// and re-synchronizes on the last processed sequence number when it
+// changes. The indexed path gets the same resilience for free, because
+// ProbeNext re-reads the index on every call.
 func (j *JoinOp) probeState(f *probeFrame, s, o *side, det *detectCtx, collect *[]*stream.Composite, fresh bool) {
 	j.ctr.Probes++
+	if len(s.key) > 0 && o.st.Indexed() {
+		if h, ok := s.key.Hash(f.input); ok {
+			start := f.lastPartner
+			j.probeIndexed(f, s, o, h, det != nil, collect, fresh)
+			if det == nil || f.parked || f.fullMatch {
+				return
+			}
+			// No full match exists: rewind and rescan linearly so the
+			// detection context observes every pair's matched-atom mask.
+			// The indexed pass emitted nothing (a full non-suppressed match
+			// would have set fullMatch), so no re-entrant feedback can have
+			// run and the state is exactly as it was; its bookkeeping for
+			// suppressed pairs is complete, so the rescan only observes.
+			f.lastPartner = start
+			j.probeLinear(f, s, o, det, collect, fresh, phaseObserve)
+			return
+		}
+	}
+	j.probeLinear(f, s, o, det, collect, fresh, phaseFull)
+}
+
+// probeLinear is the sequential scan of probeState, over every live entry
+// beyond the frame's cursor.
+func (j *JoinOp) probeLinear(f *probeFrame, s, o *side, det *detectCtx, collect *[]*stream.Composite, fresh bool, phase probePhase) {
 	ver := o.st.Version()
 	i := o.st.IndexAfter(f.lastPartner)
 	for !f.parked {
@@ -384,15 +462,46 @@ func (j *JoinOp) probeState(f *probeFrame, s, o *side, det *detectCtx, collect *
 		if f.done != nil && f.done[e.Seq] {
 			continue // pair already generated during this tuple's suspension
 		}
-		j.joinPair(f, s, e, det, collect, fresh)
+		j.joinPair(f, s, e, det, collect, fresh, phase)
+	}
+}
+
+// probeIndexed is the bucket walk of probeState: partners sharing the
+// input's key hash (plus loose entries), in ascending sequence order,
+// starting after the frame's cursor. Hash collisions are rejected by the
+// predicate evaluation inside joinPair. When the walk fronts a detection
+// probe (detecting), suppressed pairs are recorded only if they fully
+// match, mirroring the bookkeeping the baseline detection scan would do —
+// the observation pass that may follow does none.
+func (j *JoinOp) probeIndexed(f *probeFrame, s, o *side, h uint64, detecting bool, collect *[]*stream.Composite, fresh bool) {
+	for !f.parked {
+		e, ok := o.st.ProbeNext(h, f.lastPartner)
+		if !ok {
+			break
+		}
+		f.lastPartner = e.Seq
+		if f.done != nil && f.done[e.Seq] {
+			continue // pair already generated during this tuple's suspension
+		}
+		phase := phaseFull
+		if detecting {
+			phase = phaseExist
+		}
+		j.joinPair(f, s, e, nil, collect, fresh, phase)
 	}
 }
 
 // probeBlacklists performs the catch-up part of resumption: suspended
 // opposite tuples beyond the cursor are joined too, so that pairs whose
 // both endpoints were suspended are generated exactly once (DESIGN.md §2).
+// Entries incompatible with the probing input's equi-key are skipped whole
+// (entrySkip), the blacklist leg of the indexed probing of DESIGN.md §3.
 func (j *JoinOp) probeBlacklists(f *probeFrame, o *side, cursor uint64, collect *[]*stream.Composite) {
+	s := j.in[f.port]
 	for _, entry := range o.black.Entries() {
+		if j.entrySkip(f, s, o, entry) {
+			continue
+		}
 		for i := range entry.Tuples {
 			susp := &entry.Tuples[i]
 			if f.parked {
@@ -408,13 +517,42 @@ func (j *JoinOp) probeBlacklists(f *probeFrame, o *side, cursor uint64, collect 
 				continue
 			}
 			j.ctr.CatchUpJoins++
-			if j.joinPair(f, j.in[f.port], susp.E, nil, collect, false) {
+			if j.joinPair(f, j.in[f.port], susp.E, nil, collect, false, phaseFull) {
 				// The pair is produced now, while the partner is still
 				// suspended; its own resumption must not regenerate it.
 				susp.MarkDone(f.seq)
 			}
 		}
 	}
+}
+
+// entrySkip reports whether every tuple parked under the blacklist entry is
+// guaranteed to fail the crossing equi predicates against f.input. All
+// parked tuples share the entry signature's values (they matched it on
+// diversion, or are super-tuples of its anchor), so for each aligned key
+// column pair (s.key[i], o.key[i]) whose opposite column the signature
+// constrains, one value comparison rejects the whole entry. Ø entries have
+// empty signatures and are never skipped; rejected pairs need no exactly-
+// once bookkeeping because no result exists for them (DESIGN.md §3).
+func (j *JoinOp) entrySkip(f *probeFrame, s, o *side, entry *feedback.Entry) bool {
+	if len(s.key) == 0 || len(entry.MNS.Sig) == 0 {
+		return false
+	}
+	for i, oa := range o.key {
+		v, ok := entry.MNS.Sig.Lookup(oa)
+		if !ok {
+			continue
+		}
+		t := f.input.Comp(s.key[i].Source)
+		if t == nil {
+			continue
+		}
+		j.ctr.Comparisons++
+		if t.Vals[s.key[i].Col] != v {
+			return true
+		}
+	}
+	return false
 }
 
 // recordSuppressed parks a mark-suppressed pair (probing input f against
@@ -451,7 +589,7 @@ func (j *JoinOp) probePending(f *probeFrame, o *side, pending []uint64, collect 
 			if e := o.st.At(i); e.Seq == seq {
 				if e.C.MinTS+j.window > j.now {
 					j.ctr.CatchUpJoins++
-					j.joinPair(f, j.in[f.port], e, nil, collect, false)
+					j.joinPair(f, j.in[f.port], e, nil, collect, false, phaseFull)
 				}
 				continue
 			}
@@ -467,7 +605,7 @@ func (j *JoinOp) probePending(f *probeFrame, o *side, pending []uint64, collect 
 					break
 				}
 				j.ctr.CatchUpJoins++
-				if j.joinPair(f, j.in[f.port], susp.E, nil, collect, false) {
+				if j.joinPair(f, j.in[f.port], susp.E, nil, collect, false, phaseFull) {
 					susp.MarkDone(f.seq)
 				}
 				break
@@ -496,21 +634,35 @@ func (j *JoinOp) probeInFlight(f *probeFrame, o *side, cursor uint64, collect *[
 			continue
 		}
 		j.ctr.CatchUpJoins++
-		j.joinPair(f, j.in[f.port], state.Entry{C: g.input, Seq: g.seq}, nil, collect, false)
+		j.joinPair(f, j.in[f.port], state.Entry{C: g.input, Seq: g.seq}, nil, collect, false, phaseFull)
 	}
 }
 
 // joinPair evaluates one (input, partner) pair: mark suppression, predicate
 // evaluation (feeding the detection context), and result construction.
-func (j *JoinOp) joinPair(f *probeFrame, s *side, e state.Entry, det *detectCtx, collect *[]*stream.Composite, fresh bool) bool {
+func (j *JoinOp) joinPair(f *probeFrame, s *side, e state.Entry, det *detectCtx, collect *[]*stream.Composite, fresh bool, phase probePhase) bool {
+	if phase == phaseObserve {
+		// Observation pass of a two-phase detection probe: emission and
+		// suppression bookkeeping were completed by the indexed pass; only
+		// feed the detection context the exact matched-atom mask. A full
+		// match cannot appear here (the indexed pass would have emitted it
+		// and skipped this pass), so nothing is ever generated.
+		mask, full, n := j.evalAtoms(f.input, s, e.C, true)
+		j.ctr.Comparisons += uint64(n)
+		det.observe(j, mask, full)
+		return false
+	}
 	suppressedID := uint64(0)
 	if fresh && !j.marks.Empty() {
 		suppressedID = j.marks.SuppressedBy(f.input, e.C, 0)
 	}
-	if suppressedID != 0 && det == nil {
+	if suppressedID != 0 && det == nil && phase != phaseExist {
 		// No detection: skip the evaluation entirely (the point of
 		// mark-result suppression is saving this work) and park the pair
-		// for generation at unmark.
+		// for generation at unmark. The phaseExist pass instead falls
+		// through to the evaluation and records only full matches — the
+		// bookkeeping the baseline detection scan performs, so the
+		// observation pass that may follow can record nothing.
 		j.ctr.SuppressedPairs++
 		j.recordSuppressed(f, e, suppressedID)
 		return false

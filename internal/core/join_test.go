@@ -163,9 +163,11 @@ func runClique(t *testing.T, n int, bushy bool, rate float64, dmax int64, window
 	return out
 }
 
-// TestEquivalenceModes verifies invariant 1 of DESIGN.md: REF, JIT, DOE and
-// Bloom-JIT produce identical result multisets across a grid of shapes,
-// selectivities and seeds.
+// TestEquivalenceModes verifies invariant 1 of DESIGN.md §2: REF, JIT, DOE
+// and Bloom-JIT produce identical result multisets across a grid of shapes,
+// selectivities and seeds. In -short mode the grid shrinks to a two-point
+// smoke configuration (one left-deep, one bushy, single seed); CI runs the
+// short form, the full sweep runs in pre-merge verification.
 func TestEquivalenceModes(t *testing.T) {
 	modes := []core.Mode{core.REF(), core.JIT(), core.DOE(), core.BloomJIT()}
 	names := []string{"JIT", "DOE", "Bloom"}
@@ -183,8 +185,18 @@ func TestEquivalenceModes(t *testing.T) {
 		{5, false, 0.6, 8},
 		{6, true, 0.5, 6},
 	}
+	maxSeed := int64(3)
+	if testing.Short() {
+		cases = []struct {
+			n     int
+			bushy bool
+			rate  float64
+			dmax  int64
+		}{{3, false, 1.0, 3}, {4, true, 0.8, 4}}
+		maxSeed = 1
+	}
 	for _, c := range cases {
-		for seed := int64(1); seed <= 3; seed++ {
+		for seed := int64(1); seed <= maxSeed; seed++ {
 			label := fmt.Sprintf("n%d_bushy%v_d%d_s%d", c.n, c.bushy, c.dmax, seed)
 			t.Run(label, func(t *testing.T) {
 				sets := runClique(t, c.n, c.bushy, c.rate, c.dmax,
@@ -230,7 +242,11 @@ func TestFeedbackDisabledConfigs(t *testing.T) {
 	ignore.IgnoreFeedback = true
 	modes := []core.Mode{core.REF(), noTypeII, noGen, noProp, ignore}
 	names := []string{"noTypeII", "noGeneralize", "noPropagate", "ignoreFeedback"}
-	for seed := int64(1); seed <= 2; seed++ {
+	maxSeed := int64(2)
+	if testing.Short() {
+		maxSeed = 1
+	}
+	for seed := int64(1); seed <= maxSeed; seed++ {
 		sets := runClique(t, 5, true, 0.6, 5, 90*stream.Second, 6*stream.Minute, seed, modes)
 		for i := 1; i < len(sets); i++ {
 			diffMultisets(t, fmt.Sprintf("%s_seed%d", names[i-1], seed), sets[0], sets[i])

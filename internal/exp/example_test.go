@@ -1,0 +1,40 @@
+package exp_test
+
+import (
+	"fmt"
+
+	"repro/internal/exp"
+)
+
+// ExampleByID resolves a figure runner and executes a miniature sweep: the
+// Horizon override trades fidelity for speed, which is exactly how the
+// quick presets and this example keep runs in the sub-second range.
+func ExampleByID() {
+	run, ok := exp.ByID(10)
+	if !ok {
+		panic("figure 10 missing")
+	}
+	cfg := exp.Config{
+		Scale:     0.001,
+		SizeScale: 0.1,
+		Horizon:   30_000, // 30s of application time
+		Seed:      1,
+		Modes:     []exp.NamedMode{{Name: "REF", Mode: exp.DefaultModes()[1].Mode}},
+	}
+	fig := run(cfg)
+	fmt.Println(fig.ID, "points:", len(fig.Points))
+	fmt.Println("modes:", fig.Modes)
+	// Output:
+	// fig10 points: 5
+	// modes: [REF]
+}
+
+// ExampleDefaultModes lists the paper's primary comparison.
+func ExampleDefaultModes() {
+	for _, nm := range exp.DefaultModes() {
+		fmt.Println(nm.Name)
+	}
+	// Output:
+	// JIT
+	// REF
+}

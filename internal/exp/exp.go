@@ -50,6 +50,13 @@ type Params struct {
 	Horizon stream.Time
 	Seed    int64
 	Mode    core.Mode
+	// Indexed runs the plan with hash-indexed join states (DESIGN.md §3).
+	// The default (false) reproduces the paper's 2008 prototype, whose
+	// states are scanned linearly — the execution model all of Figures
+	// 10-17 assume. With indexing on, REF's probe cost collapses to the
+	// matching pairs and the paper's JIT-vs-REF cost shape no longer
+	// holds; see the indexed-vs-scan benchmarks for that comparison.
+	Indexed bool
 }
 
 // Run executes the configuration and returns the measured results.
@@ -72,7 +79,9 @@ func (p Params) Run() engine.Result {
 	} else {
 		shape = plan.LeftDeep(p.N)
 	}
-	b := plan.BuildTree(cat, conj, shape, plan.Options{Window: p.Window, Mode: p.Mode})
+	b := plan.BuildTree(cat, conj, shape, plan.Options{
+		Window: p.Window, Mode: p.Mode, NoStateIndex: !p.Indexed,
+	})
 	return engine.New(b).Run(arrivals)
 }
 
@@ -113,6 +122,9 @@ type Config struct {
 	// Horizon overrides the default 5-hour (scaled) application time when
 	// non-zero.
 	Horizon stream.Time
+	// Indexed runs every point with hash-indexed join states instead of
+	// the paper's linear scans (see Params.Indexed).
+	Indexed bool
 }
 
 // DefaultConfig runs JIT vs REF at one-tenth horizon scale, seed 1.
@@ -189,6 +201,7 @@ func runSweep(cfg Config, id, title, xlabel string, xs []float64, mk func(x floa
 			p := mk(x)
 			p.Mode = nm.Mode
 			p.Seed = cfg.Seed
+			p.Indexed = cfg.Indexed
 			p.Window = cfg.sizeW(p.Window)
 			p.DMax = cfg.sizeD(p.DMax)
 			if p.Horizon == 0 {

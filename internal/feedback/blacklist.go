@@ -62,9 +62,12 @@ type Blacklist struct {
 	// groups index entries by their signature's attribute set, with a hash
 	// on the value fingerprint inside each group, so MatchArrival is O(#
 	// attribute sets) instead of O(# entries) — the hash-table organization
-	// the paper prescribes for the blacklist (Sec. IV-B).
-	groups map[string]*sigGroup
-	empty  *Entry // the Ø entry, matching every arrival
+	// the paper prescribes for the blacklist (Sec. IV-B). groupList holds
+	// the same groups in creation order: probes iterate the slice, never
+	// the map, so run behaviour is deterministic (DESIGN.md §2).
+	groups    map[string]*sigGroup
+	groupList []*sigGroup
+	empty     *Entry // the Ø entry, matching every arrival
 }
 
 // sigGroup is the per-attribute-set hash of entries.
@@ -163,6 +166,7 @@ func (b *Blacklist) index(e *Entry) {
 		}
 		g = &sigGroup{attrs: attrs, byVal: make(map[string]*Entry)}
 		b.groups[gk] = g
+		b.groupList = append(b.groupList, g)
 	}
 	g.byVal[sigValKey(e.MNS.Sig)] = e
 }
@@ -196,7 +200,7 @@ func (b *Blacklist) MatchArrival(c *stream.Composite, now stream.Time, generaliz
 	if b.empty != nil && b.empty.MNS.Expiry > now {
 		return b.empty, comparisons
 	}
-	for _, g := range b.groups {
+	for _, g := range b.groupList {
 		comparisons += len(g.attrs)
 		key, ok := valKeyOf(g.attrs, c)
 		if !ok {

@@ -24,9 +24,12 @@ type Buffer struct {
 	// groups index MNSs by the opposite-side attributes their predicates
 	// test, hashing the expected values, so probing an arrival is O(#
 	// attribute sets) — the hash organization the paper suggests for the
-	// MNS buffer (Sec. III-A).
-	groups map[string]*probeGroup
-	empty  *MNS // Ø, matched by every opposite arrival
+	// MNS buffer (Sec. III-A). groupList mirrors the map in creation
+	// order: probes iterate the slice so the set AND order of resumed
+	// MNSs is deterministic (DESIGN.md §2).
+	groups    map[string]*probeGroup
+	groupList []*probeGroup
+	empty     *MNS // Ø, matched by every opposite arrival
 }
 
 // probeGroup hashes MNSs sharing one opposite-attribute set.
@@ -130,6 +133,7 @@ func (b *Buffer) index(m *MNS) {
 	if g == nil {
 		g = &probeGroup{attrs: attrs, byVal: make(map[string][]*MNS)}
 		b.groups[gk] = g
+		b.groupList = append(b.groupList, g)
 	}
 	vk := valsKey(vals)
 	g.byVal[vk] = append(g.byVal[vk], m)
@@ -190,7 +194,7 @@ func (b *Buffer) Probe(t *stream.Composite) (matched []*MNS, comparisons int) {
 	if b.empty != nil {
 		matched = append(matched, b.empty)
 	}
-	for _, g := range b.groups {
+	for _, g := range b.groupList {
 		comparisons += len(g.attrs)
 		key, ok := compositeValsKey(g.attrs, t)
 		if !ok {

@@ -74,6 +74,19 @@ func (s Signature) MatchedBy(c *stream.Composite) bool {
 	return true
 }
 
+// Lookup returns the signature's value at the given attribute, if
+// constrained. Used by the blacklist catch-up prefilter: every tuple parked
+// under an entry shares the entry signature's values, so one lookup per
+// indexed key column can reject a whole entry (DESIGN.md §3).
+func (s Signature) Lookup(a predicate.Attr) (stream.Value, bool) {
+	for _, e := range s {
+		if e.Attr == a {
+			return e.Val, true
+		}
+	}
+	return 0, false
+}
+
 // Sources returns the set of sources constrained by the signature.
 func (s Signature) Sources() stream.SourceSet {
 	var set stream.SourceSet

@@ -154,17 +154,21 @@ func (t *MarkTable) SuppressedBy(a, b *stream.Composite, exclude uint64) uint64 
 	if len(a.Marks) == 0 || len(b.Marks) == 0 {
 		return 0
 	}
-	// Iterate the smaller mark set.
+	// Iterate the smaller mark set. When several active marks cover the
+	// pair, return the smallest id: the choice decides which origin entry
+	// records a suppressed pair, and a deterministic rule keeps runs
+	// reproducible (map iteration order is not).
 	small, big := a, b
 	if len(b.Marks) < len(a.Marks) {
 		small, big = b, a
 	}
+	best := uint64(0)
 	for id := range small.Marks {
-		if id != exclude && t.active[id] != nil && big.HasMark(id) {
-			return id
+		if id != exclude && t.active[id] != nil && big.HasMark(id) && (best == 0 || id < best) {
+			best = id
 		}
 	}
-	return 0
+	return best
 }
 
 // TakeOrigin removes and returns the origin entry for the signature key.

@@ -123,6 +123,12 @@ type Options struct {
 	Mode   core.Mode
 	// KeepResults makes the sink retain all results (tests only).
 	KeepResults bool
+	// NoStateIndex disables the hash-indexed join states (DESIGN.md §3),
+	// forcing every probe down the linear scan path. Equivalence tests and
+	// the indexed-vs-scan benchmarks flip this; production plans leave it
+	// off. Joins whose crossing predicates yield no equi key (cross
+	// products) fall back to scans regardless.
+	NoStateIndex bool
 }
 
 // BuildTree wires a Node shape into JoinOps plus a sink.
@@ -168,6 +174,15 @@ func (b *Built) wire(cat *stream.Catalog, preds predicate.Conj, n *Node, opt Opt
 		rightProd = rightOp
 	}
 	name := fmt.Sprintf("Op%d", len(b.Joins)+1)
+	// Derive the operator's equi-key columns from the predicates crossing
+	// its two input sides; nil keys (no crossing predicate, or indexing
+	// disabled) leave the operator's states scan-only (DESIGN.md §3).
+	var lk, rk []predicate.Attr
+	if !opt.NoStateIndex {
+		if l, r, ok := preds.EquiKeyCols(n.Left.Sources(), n.Right.Sources()); ok {
+			lk, rk = l, r
+		}
+	}
 	j := core.NewJoin(core.Config{
 		Name:         name,
 		NumSources:   cat.NumSources(),
@@ -179,6 +194,8 @@ func (b *Built) wire(cat *stream.Catalog, preds predicate.Conj, n *Node, opt Opt
 		NextMNS:      b.NextMNS,
 		LeftSources:  n.Left.Sources(),
 		RightSources: n.Right.Sources(),
+		LeftKey:      lk,
+		RightKey:     rk,
 		LeftProd:     leftProd,
 		RightProd:    rightProd,
 	})

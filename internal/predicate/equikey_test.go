@@ -1,0 +1,66 @@
+package predicate
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func set(ids ...stream.SourceID) stream.SourceSet {
+	var s stream.SourceSet
+	for _, id := range ids {
+		s = s.Add(id)
+	}
+	return s
+}
+
+func TestEquiKeyColsClique(t *testing.T) {
+	_, conj := Clique(4)
+	// Bushy root: {A,B} vs {C,D} crosses on 4 predicates (A-C, A-D, B-C, B-D).
+	lk, rk, ok := conj.EquiKeyCols(set(0, 1), set(2, 3))
+	if !ok {
+		t.Fatal("clique sides must derive a key")
+	}
+	if len(lk) != 4 || len(rk) != 4 {
+		t.Fatalf("want 4 aligned columns, got %d/%d", len(lk), len(rk))
+	}
+	for i := range lk {
+		// Each aligned pair must be the two endpoints of one crossing
+		// predicate: left attr on the left set, right attr on the right set.
+		if !set(0, 1).Has(lk[i].Source) || !set(2, 3).Has(rk[i].Source) {
+			t.Fatalf("pair %d on wrong sides: %v / %v", i, lk[i], rk[i])
+		}
+	}
+}
+
+func TestEquiKeyColsOrientation(t *testing.T) {
+	// A predicate written right-to-left must still land left-set column in lk.
+	conj := Conj{{Left: 2, LCol: 1, Right: 0, RCol: 0}} // s2.c1 = s0.c0
+	lk, rk, ok := conj.EquiKeyCols(set(0), set(2))
+	if !ok || len(lk) != 1 {
+		t.Fatalf("key not derived: %v %v %v", lk, rk, ok)
+	}
+	if lk[0] != (Attr{Source: 0, Col: 0}) || rk[0] != (Attr{Source: 2, Col: 1}) {
+		t.Fatalf("orientation wrong: %v / %v", lk[0], rk[0])
+	}
+}
+
+func TestEquiKeyColsCrossProduct(t *testing.T) {
+	// No predicate crossing the two sets: the join is a cross product and
+	// must fall back to scans.
+	conj := Conj{{Left: 0, LCol: 0, Right: 1, RCol: 0}}
+	if _, _, ok := conj.EquiKeyCols(set(0, 1), set(2)); ok {
+		t.Fatal("cross product must not derive a key")
+	}
+}
+
+func TestEquiKeyColsIgnoresSameSidePredicates(t *testing.T) {
+	conj := Conj{
+		{Left: 0, LCol: 0, Right: 1, RCol: 0}, // inside left set
+		{Left: 1, LCol: 1, Right: 2, RCol: 0}, // crossing
+	}
+	lk, rk, ok := conj.EquiKeyCols(set(0, 1), set(2))
+	if !ok || len(lk) != 1 || lk[0].Source != 1 || rk[0].Source != 2 {
+		t.Fatalf("same-side predicate leaked into key: %v %v", lk, rk)
+	}
+}

@@ -106,6 +106,31 @@ func (c Conj) SourcesLinkedTo(own, opposite stream.SourceSet) []stream.SourceID 
 	return set.IDs()
 }
 
+// EquiKeyCols derives the aligned equi-join key columns of the crossing
+// predicates between the source sets left and right: for every predicate
+// with one endpoint in each set, lk receives the left-set column and rk the
+// right-set column, at the same position. Two composites (one per side)
+// satisfy all crossing predicates exactly when their value vectors at lk and
+// rk are equal — the property the hash-indexed join states of DESIGN.md §3
+// rely on. ok is false when no predicate crosses the two sets (the join is a
+// cross product and keying is meaningless); callers must then fall back to
+// linear scans. Because Conj can only express equi-joins, every crossing
+// predicate contributes to the key; if non-equi predicate kinds are ever
+// added, this is the place that must report ok=false for them.
+func (c Conj) EquiKeyCols(left, right stream.SourceSet) (lk, rk []Attr, ok bool) {
+	for _, e := range c {
+		switch {
+		case left.Has(e.Left) && right.Has(e.Right):
+			lk = append(lk, Attr{Source: e.Left, Col: e.LCol})
+			rk = append(rk, Attr{Source: e.Right, Col: e.RCol})
+		case left.Has(e.Right) && right.Has(e.Left):
+			lk = append(lk, Attr{Source: e.Right, Col: e.RCol})
+			rk = append(rk, Attr{Source: e.Left, Col: e.LCol})
+		}
+	}
+	return lk, rk, len(lk) > 0
+}
+
 // EvalPair evaluates every predicate linking composites a and b. Predicates
 // with both endpoints inside a (or inside b) are assumed already checked
 // upstream and skipped; n reports how many predicates were actually

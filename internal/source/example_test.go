@@ -1,0 +1,48 @@
+package source_test
+
+import (
+	"fmt"
+
+	"repro/internal/predicate"
+	"repro/internal/source"
+	"repro/internal/stream"
+)
+
+// ExampleBurst hand-builds the first arrivals of the paper's Table I trace.
+func ExampleBurst() {
+	cat := stream.NewCatalog()
+	cat.MustAdd(stream.NewSchema("A", "x", "y"))
+	cat.MustAdd(stream.NewSchema("B", "x"))
+	m := stream.Minute
+	trace := source.Merge(
+		source.Burst(cat, 1, 0*m, []stream.Value{1}, []stream.Value{1}), // b1 b2
+		source.Burst(cat, 0, 1*m, []stream.Value{1, 100}),               // a1
+	)
+	for _, t := range trace {
+		fmt.Printf("%s ts=%v vals=%v\n", t, t.TS, t.Vals)
+	}
+	// Output:
+	// b1 ts=0m vals=[1]
+	// b2 ts=0m vals=[1]
+	// a3 ts=1m vals=[1 100]
+}
+
+// ExampleGenerate draws a seeded Poisson workload; identical seeds yield
+// identical traces, which is what makes every experiment reproducible.
+func ExampleGenerate() {
+	cat, _ := predicate.Clique(3)
+	cfg := source.UniformConfig(3, 1.0, 10, 5*stream.Second, 42)
+	a := source.Generate(cat, cfg)
+	b := source.Generate(cat, cfg)
+	same := len(a) == len(b)
+	for i := range a {
+		if a[i].TS != b[i].TS || a[i].Source != b[i].Source {
+			same = false
+		}
+	}
+	fmt.Println("deterministic:", same)
+	fmt.Println("arrivals ordered:", len(a) > 0 && a[0].TS <= a[len(a)-1].TS)
+	// Output:
+	// deterministic: true
+	// arrivals ordered: true
+}

@@ -12,14 +12,57 @@
 // sequence exceeds the cursor. This reproduces the paper's worked example
 // (a1 re-joined with b2–b4, a2 with b1–b4) and guarantees exactly-once
 // result generation.
+//
+// Hash index (see DESIGN.md §3): a State may additionally be keyed on the
+// equi-join columns of the crossing predicates (SetKey). Entries then live
+// both in the arrival-order slice and in per-key-hash buckets, each kept in
+// ascending sequence order, so a probe visits only the entries sharing the
+// probing tuple's key values (plus hash collisions, which the caller's
+// predicate evaluation rejects) via ProbeNext instead of scanning the whole
+// state. Entries whose composite lacks a key component fall into a loose
+// overflow list that every probe also visits, preserving the vacuous-truth
+// semantics of predicate.Eq.Holds.
 package state
 
 import (
 	"fmt"
 
 	"repro/internal/metrics"
+	"repro/internal/predicate"
 	"repro/internal/stream"
 )
+
+// Key is the ordered list of columns whose values form a State's equi-join
+// index key. Probing and stored sides use aligned keys (the two halves of
+// predicate.Conj.EquiKeyCols), so equal value vectors — exactly the pairs
+// satisfying every crossing equi predicate — produce equal hashes.
+type Key []predicate.Attr
+
+// FNV-1a constants (64-bit).
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Hash folds the composite's values at the key columns into a 64-bit FNV-1a
+// hash. ok is false when the composite lacks one of the key sources; such
+// composites cannot be keyed and take the linear fallback paths (a stored
+// one goes to the loose list, a probing one falls back to a full scan).
+func (k Key) Hash(c *stream.Composite) (h uint64, ok bool) {
+	h = fnvOffset
+	for _, a := range k {
+		t := c.Comp(a.Source)
+		if t == nil {
+			return 0, false
+		}
+		v := uint64(t.Vals[a.Col])
+		for i := 0; i < 64; i += 8 {
+			h ^= (v >> uint(i)) & 0xff
+			h *= fnvPrime
+		}
+	}
+	return h, true
+}
 
 // Entry is a stored composite together with its stable sequence number.
 type Entry struct {
@@ -50,6 +93,12 @@ type State struct {
 	acct    *metrics.Account
 	entries []Entry // arrival order == ascending Seq
 	version uint64  // incremented on every mutation (probe-loop resync)
+	// Hash index over the equi-join key (nil when the state is scan-only).
+	// Buckets and the loose overflow are each kept in ascending Seq order,
+	// mirroring the entries slice.
+	key     Key
+	buckets map[uint64][]Entry
+	loose   []Entry // entries whose composite lacks a key component
 }
 
 // New creates a state drawing sequence numbers from side and charging
@@ -60,6 +109,26 @@ func New(name string, side *Side, acct *metrics.Account) *State {
 
 // Name returns the state's label (e.g. "S_AB").
 func (s *State) Name() string { return s.name }
+
+// SetKey configures the hash index over the given key columns. It must be
+// called before any entry is inserted; an empty key leaves the state
+// scan-only.
+func (s *State) SetKey(k Key) {
+	if len(s.entries) > 0 {
+		panic(fmt.Sprintf("state: SetKey on non-empty state %s", s.name))
+	}
+	if len(k) == 0 {
+		return
+	}
+	s.key = append(Key(nil), k...)
+	s.buckets = make(map[uint64][]Entry)
+}
+
+// Indexed reports whether the state maintains a hash index.
+func (s *State) Indexed() bool { return s.buckets != nil }
+
+// IndexKey returns the key columns the index is built on (nil if scan-only).
+func (s *State) IndexKey() Key { return s.key }
 
 // Side returns the sequence space the state draws from.
 func (s *State) Side() *Side { return s.side }
@@ -75,6 +144,7 @@ func (s *State) Insert(c *stream.Composite) Entry {
 	e := Entry{C: c, Seq: s.side.Next()}
 	s.version++
 	s.entries = append(s.entries, e)
+	s.indexInsert(e)
 	s.acct.Alloc(c.DeepSizeBytes())
 	return e
 }
@@ -86,15 +156,103 @@ func (s *State) Insert(c *stream.Composite) Entry {
 func (s *State) Reinsert(e Entry) {
 	s.version++
 	s.acct.Alloc(e.C.DeepSizeBytes())
-	// Common case: reactivated tuples are older than the newest live ones,
-	// so walk back from the end to find the insertion point.
-	i := len(s.entries)
-	for i > 0 && s.entries[i-1].Seq > e.Seq {
+	s.entries = insertBySeq(s.entries, e)
+	s.indexInsert(e)
+}
+
+// insertBySeq places e into the ascending-Seq slice. The common case —
+// reactivated tuples are older than the newest live ones — walks back from
+// the end to find the insertion point.
+func insertBySeq(list []Entry, e Entry) []Entry {
+	i := len(list)
+	for i > 0 && list[i-1].Seq > e.Seq {
 		i--
 	}
-	s.entries = append(s.entries, Entry{})
-	copy(s.entries[i+1:], s.entries[i:])
-	s.entries[i] = e
+	list = append(list, Entry{})
+	copy(list[i+1:], list[i:])
+	list[i] = e
+	return list
+}
+
+// seqIndexAfter returns the index of the first entry in the ascending-Seq
+// list with sequence strictly greater than seq (binary search).
+func seqIndexAfter(list []Entry, seq uint64) int {
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if list[mid].Seq <= seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// indexInsert mirrors an insertion into the hash index.
+func (s *State) indexInsert(e Entry) {
+	if s.buckets == nil {
+		return
+	}
+	if h, ok := s.key.Hash(e.C); ok {
+		s.buckets[h] = insertBySeq(s.buckets[h], e)
+	} else {
+		s.loose = insertBySeq(s.loose, e)
+	}
+}
+
+// indexRemove mirrors a removal. The entry's bucket is recomputed from its
+// composite; key values are immutable while stored, so the hash is stable.
+func (s *State) indexRemove(e Entry) {
+	if s.buckets == nil {
+		return
+	}
+	h, ok := s.key.Hash(e.C)
+	if !ok {
+		s.loose = removeSeq(s.loose, e.Seq)
+		return
+	}
+	b := removeSeq(s.buckets[h], e.Seq)
+	if len(b) == 0 {
+		delete(s.buckets, h)
+	} else {
+		s.buckets[h] = b
+	}
+}
+
+// removeSeq deletes the entry with the given sequence from an ascending-Seq
+// list, if present.
+func removeSeq(list []Entry, seq uint64) []Entry {
+	i := seqIndexAfter(list, seq-1) // first index with Seq >= seq
+	if i < len(list) && list[i].Seq == seq {
+		copy(list[i:], list[i+1:])
+		list[len(list)-1] = Entry{}
+		list = list[:len(list)-1]
+	}
+	return list
+}
+
+// ProbeNext returns the live entry with the lowest sequence number strictly
+// greater than after, among the bucket for key hash h and the loose
+// (unkeyable) overflow. It re-reads the index on every call, so probe loops
+// built on it are resilient to re-entrant insertions and removals without
+// version bookkeeping: the next call simply resumes after the last sequence
+// processed. Bucket entries may be hash collisions; callers re-evaluate the
+// join predicates on every returned entry (DESIGN.md §3).
+func (s *State) ProbeNext(h uint64, after uint64) (Entry, bool) {
+	var best Entry
+	found := false
+	if b := s.buckets[h]; len(b) > 0 {
+		if i := seqIndexAfter(b, after); i < len(b) {
+			best, found = b[i], true
+		}
+	}
+	if len(s.loose) > 0 {
+		if i := seqIndexAfter(s.loose, after); i < len(s.loose) && (!found || s.loose[i].Seq < best.Seq) {
+			best, found = s.loose[i], true
+		}
+	}
+	return best, found
 }
 
 // Purge removes entries whose oldest component has expired: MinTS + w <= now.
@@ -107,6 +265,7 @@ func (s *State) Purge(now, window stream.Time) int {
 	for _, e := range s.entries {
 		if e.C.MinTS+window <= now {
 			s.acct.Free(e.C.DeepSizeBytes())
+			s.indexRemove(e)
 			purged++
 			continue
 		}
@@ -131,6 +290,7 @@ func (s *State) Remove(c *stream.Composite) (Entry, bool) {
 		if e.C == c {
 			s.version++
 			s.acct.Free(c.DeepSizeBytes())
+			s.indexRemove(e)
 			copy(s.entries[i:], s.entries[i+1:])
 			s.entries[len(s.entries)-1] = Entry{}
 			s.entries = s.entries[:len(s.entries)-1]
@@ -149,6 +309,7 @@ func (s *State) RemoveIf(pred func(*stream.Composite) bool) []Entry {
 		if pred(e.C) {
 			removed = append(removed, e)
 			s.acct.Free(e.C.DeepSizeBytes())
+			s.indexRemove(e)
 			continue
 		}
 		kept = append(kept, e)
@@ -204,16 +365,7 @@ func (s *State) At(i int) Entry { return s.entries[i] }
 // IndexAfter returns the index of the first entry with sequence strictly
 // greater than seq (binary search over the ascending-seq slice).
 func (s *State) IndexAfter(seq uint64) int {
-	lo, hi := 0, len(s.entries)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if s.entries[mid].Seq <= seq {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo
+	return seqIndexAfter(s.entries, seq)
 }
 
 func (s *State) String() string {
