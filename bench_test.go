@@ -124,6 +124,54 @@ func BenchmarkProbeScanJIT(b *testing.B) { benchProbe(b, core.JIT(), true) }
 // linear.
 func BenchmarkProbeIndexedJIT(b *testing.B) { benchProbe(b, core.JIT(), false) }
 
+// benchSweep measures the engine's sweep scheduling (DESIGN.md §4): the
+// same JIT workload driven either by the deadline heap (sweeps fire only on
+// operators whose deadline passed) or by the historical sweep-every-arrival
+// hot path. Results and all work counters are identical either way (see
+// TestDeadlineSweepEquivalence); the metrics isolate pure scheduling
+// overhead — sweeps actually fired per arrival, and wall time.
+func benchSweep(b *testing.B, rate float64, window, horizon stream.Time, everyArrival bool) {
+	cat, conj := predicate.Clique(4)
+	arrivals := source.Generate(cat, source.UniformConfig(4, rate, 100, horizon, 1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sweeps float64
+	for i := 0; i < b.N; i++ {
+		p := plan.BuildTree(cat, conj, plan.Bushy(4), plan.Options{
+			Window: window, Mode: core.JIT(),
+		})
+		eng := engine.NewWithOptions(p, engine.Options{SweepEveryArrival: everyArrival})
+		res := eng.Run(arrivals)
+		sweeps = float64(res.Counters.Sweeps) / float64(res.Arrivals)
+	}
+	b.ReportMetric(sweeps, "sweeps/arrival")
+}
+
+// BenchmarkSweepEverySparse: sparse stream (λ=0.2, w=2min), sweep before
+// every arrival — almost every sweep is a no-op.
+func BenchmarkSweepEverySparse(b *testing.B) {
+	benchSweep(b, 0.2, 2*stream.Minute, 30*stream.Minute, true)
+}
+
+// BenchmarkSweepDeadlineSparse: same sparse stream on the deadline heap —
+// sweeps fire only when an operator actually has expiry work.
+func BenchmarkSweepDeadlineSparse(b *testing.B) {
+	benchSweep(b, 0.2, 2*stream.Minute, 30*stream.Minute, false)
+}
+
+// BenchmarkSweepEveryDense: dense stream (λ=8, w=30s over 2min), with real
+// expiry churn, sweep-every-arrival.
+func BenchmarkSweepEveryDense(b *testing.B) {
+	benchSweep(b, 8, 30*stream.Second, 2*stream.Minute, true)
+}
+
+// BenchmarkSweepDeadlineDense: dense stream on the deadline heap; with
+// arrivals every few milliseconds most operators still have no due
+// deadline, so scheduled sweeps stay well below one per arrival.
+func BenchmarkSweepDeadlineDense(b *testing.B) {
+	benchSweep(b, 8, 30*stream.Second, 2*stream.Minute, false)
+}
+
 // BenchmarkAblationDefault compares JIT, REF, DOE and Bloom-JIT at the
 // Table III bushy default point — the design-choice ablation called out in
 // DESIGN.md.

@@ -23,6 +23,8 @@ func main() {
 	minutes := flag.Float64("minutes", 15, "horizon in minutes")
 	seed := flag.Int64("seed", 1, "random seed")
 	mode := flag.String("mode", "jit", "execution mode: jit, ref, doe, bloom")
+	drain := flag.Bool("drain", false, "after the last arrival, keep firing timer deadlines so suspended results still resume or expire (end-of-stream drain, DESIGN.md §4)")
+	drainHorizon := flag.Float64("drain-horizon", 0, "cap the drain at this application time in minutes (0 = last arrival + window)")
 	flag.Parse()
 
 	var m core.Mode
@@ -49,10 +51,14 @@ func main() {
 		Horizon: stream.Time(*minutes * float64(stream.Minute)),
 		Seed:    *seed,
 		Mode:    m,
+		Drain:   *drain,
+	}
+	if *drainHorizon > 0 {
+		p.DrainHorizon = stream.Time(*drainHorizon * float64(stream.Minute))
 	}
 	r := p.Run()
-	fmt.Printf("mode=%s plan=%s N=%d w=%v λ=%.2f dmax=%d horizon=%v\n",
-		*mode, planName(*bushy), *n, p.Window, *rate, *dmax, p.Horizon)
+	fmt.Printf("mode=%s plan=%s N=%d w=%v λ=%.2f dmax=%d horizon=%v drain=%v\n",
+		*mode, planName(*bushy), *n, p.Window, *rate, *dmax, p.Horizon, *drain)
 	fmt.Printf("arrivals=%d results=%d cost=%d wall=%v peakMem=%.1fKB\n",
 		r.Arrivals, r.Results, r.CostUnits, r.WallTime, r.PeakMemKB)
 	fmt.Println(r.Counters.String())

@@ -55,8 +55,12 @@ func main() {
 			{Rate: 1.0, DMax: 60}, // subs
 		},
 	}
-	arrivals := source.Generate(cat, cfg)
-	for _, t := range arrivals {
+	// Events are pulled lazily from the generator — the hand-wired loop
+	// below is what engine.RunStream does for plan-built topologies.
+	next := source.Stream(cat, cfg)
+	events := 0
+	for t, ok := next(); ok; t, ok = next() {
+		events++
 		c := stream.NewComposite(2, t)
 		if t.Source == 0 {
 			join.Consume(c, operator.Left)
@@ -64,7 +68,7 @@ func main() {
 			join.Consume(c, operator.Right)
 		}
 	}
-	fmt.Printf("pubsub: %d events processed\n", len(arrivals))
+	fmt.Printf("pubsub: %d events processed\n", events)
 	fmt.Printf("deliveries=%d composites=%d comparisons=%d\n",
 		sink.Count(), ctr.Results, ctr.Comparisons)
 	fmt.Printf("permanent suspensions from the filter: MNS detected=%d, suspended tuples=%d\n",

@@ -47,7 +47,10 @@ func main() {
 		b := plan.BuildTree(cat, conj, shape, plan.Options{
 			Window: 5 * stream.Minute, Mode: mode.m, KeepResults: true,
 		})
-		res := engine.New(b).Run(trace)
+		// Drain is on so that if the trace ended while a partial result was
+		// still suspended, the timer heap would deliver or expire it before
+		// the run reports — end-of-stream behaviour matches an unbounded run.
+		res := engine.NewWithOptions(b, engine.Options{Drain: true}).Run(trace)
 		fmt.Printf("%s: %d final results, %d composites built, %d comparisons, peak %.1f KB\n",
 			mode.name, res.Results, res.Counters.Results, res.Counters.Comparisons, res.PeakMemKB)
 		if mode.name == "JIT" {

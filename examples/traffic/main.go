@@ -13,7 +13,6 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/engine"
 	"repro/internal/exp"
 	"repro/internal/stream"
 )
@@ -30,6 +29,9 @@ func main() {
 		Seed:             7,
 	}
 	fmt.Println("traffic: 4 detector stations, left-deep plan, 5-minute window")
+	// Paper mode first: suppression never pays for undemanded results, the
+	// cost regime of Figures 14-17. The tuples stream through the engine
+	// lazily (exp.Params.Run uses source.Stream + engine.RunStream).
 	for _, mode := range []struct {
 		name string
 		m    core.Mode
@@ -41,5 +43,15 @@ func main() {
 			mode.name, r.Results, r.CostUnits, r.WallTime, r.PeakMemKB,
 			r.Counters.Suspended, r.Counters.Resumed)
 	}
-	_ = engine.Result{}
+	// With Drain the timer heap keeps firing after the detectors go quiet:
+	// vehicles whose completion was suspended near the end of the run are
+	// still reported, so JIT delivers exactly REF's matches — at the price
+	// of generating every deferred pair (DESIGN.md §4, cost stance).
+	p := base
+	p.Mode = core.JIT()
+	p.Drain = true
+	r := p.Run()
+	fmt.Printf("%-4s matches=%-6d cost=%-12d wall=%-12v peak=%8.1fKB suspended=%d resumed=%d (drained)\n",
+		"JIT", r.Results, r.CostUnits, r.WallTime, r.PeakMemKB,
+		r.Counters.Suspended, r.Counters.Resumed)
 }

@@ -91,6 +91,13 @@ func (j *JoinOp) suspendTotal(m *feedback.MNS) {
 // generalization is on, else exact super-tuples of the anchor) from the
 // state to the blacklist entry, recording their resumption cursors.
 func (j *JoinOp) suspendTypeI(s *side, m *feedback.MNS) {
+	if j.exact && m.Expiry <= j.now {
+		// Born-expired anchor (exact-mode recovery cascades can detect
+		// MNSes on composites already at their window boundary): parking
+		// under it would only bounce the tuples back out at the very next
+		// sweep — leave production live instead.
+		return
+	}
 	o := j.in[s.port.Opposite()]
 	if j.mode.Propagate && s.prod != nil && s.prod.CanSuspend() {
 		j.ctr.Feedbacks++
@@ -257,6 +264,14 @@ func (j *JoinOp) resumeTypeI(s *side, m *feedback.MNS, out *[]*stream.Composite)
 // normal processing (diversion check, probe, insert), collecting results.
 func (j *JoinOp) processUpstream(s *side, ups []*stream.Composite, out *[]*stream.Composite) {
 	for _, u := range ups {
+		if j.exact {
+			// The composite may be past its own window here; pairValid
+			// inside the probes admits exactly the REF-formed pairs, and an
+			// expired composite stays ephemeral (probe-only).
+			j.activate(activation{c: u, port: s.port, collect: out,
+				divertCheck: true, ephemeral: u.MinTS+j.window <= j.now})
+			continue
+		}
 		if u.MinTS+j.window <= j.now {
 			continue
 		}
@@ -273,7 +288,7 @@ func (j *JoinOp) processUpstream(s *side, ups []*stream.Composite, out *[]*strea
 func (j *JoinOp) reactivate(s *side, e *feedback.Entry, out *[]*stream.Composite) {
 	s.black.ReleaseTuples(e)
 	for _, susp := range e.Tuples {
-		if susp.E.C.MinTS+j.window <= j.now {
+		if !j.exact && susp.E.C.MinTS+j.window <= j.now {
 			continue // expired while suspended; its results were never demanded
 		}
 		j.ctr.Resumed++
@@ -287,6 +302,7 @@ func (j *JoinOp) reactivate(s *side, e *feedback.Entry, out *[]*stream.Composite
 			collect:   out,
 			done:      susp.Done,
 			pending:   susp.Pending,
+			ephemeral: susp.E.C.MinTS+j.window <= j.now,
 		})
 	}
 }
@@ -335,7 +351,11 @@ func (j *JoinOp) unmarkCatchup(e *feedback.OriginEntry, out *[]*stream.Composite
 			continue
 		}
 		gen[key] = true
-		if p.L.C.MinTS+j.window <= j.now || p.R.C.MinTS+j.window <= j.now {
+		if j.exact {
+			if !j.pairValid(p.L.C, p.R.C) {
+				continue // outside the window span: REF never formed it
+			}
+		} else if p.L.C.MinTS+j.window <= j.now || p.R.C.MinTS+j.window <= j.now {
 			continue // expired: fruitless partial result, never needed
 		}
 		// If either endpoint is an in-flight probing input whose paused
@@ -389,6 +409,10 @@ func (j *JoinOp) Sweep(now stream.Time) {
 	if !j.mode.enabled() {
 		return
 	}
+	if j.exact {
+		j.sweepExact()
+		return
+	}
 	j.purge()
 	if !j.marks.Empty() {
 		j.marks.PurgeRelays(j.now)
@@ -416,6 +440,142 @@ func (j *JoinOp) Sweep(now stream.Time) {
 			}
 		}
 	}
+}
+
+// sweepExact is the exact-delivery sweep (DESIGN.md §4): recoveries run
+// before purging, so pairs whose generation was deferred to an expiry
+// boundary are produced while their partners are still reachable. Order:
+// expired mark entries run their unmark catch-up, expired blacklist anchors
+// reactivate their entries, parked tuples whose own window closed get a
+// last-gasp catch-up (generating the pairs REF formed live while they were
+// suspended), and only then does window expiry garbage-collect the states.
+func (j *JoinOp) sweepExact() {
+	if !j.marks.Empty() {
+		j.marks.PurgeRelays(j.now)
+		if j.marks.HasExpired(j.now) {
+			for _, e := range j.marks.TakeExpiredOrigins(j.now) {
+				var out []*stream.Composite
+				j.propagateUnmark(e.MNS)
+				j.unmarkCatchup(e, &out)
+				for _, r := range out {
+					j.emit(r)
+				}
+			}
+		}
+	}
+	for p := operator.Port(0); p < 2; p++ {
+		s := j.in[p]
+		if !s.black.HasExpired(j.now) {
+			continue
+		}
+		for _, e := range s.black.TakeExpired(j.now) {
+			var out []*stream.Composite
+			j.reactivate(s, e, &out)
+			for _, r := range out {
+				j.emit(r)
+			}
+		}
+	}
+	// Last gasp: a parked tuple whose own window closes under a still-live
+	// anchor can never be demanded again (any future pair would violate the
+	// window span), so its deferred pairs are generated now — exactly the
+	// pairs REF formed while it sat suspended — and the tuple is dropped.
+	for p := operator.Port(0); p < 2; p++ {
+		s := j.in[p]
+		for _, susp := range s.black.TakeExpiredTuples(j.now, j.window) {
+			j.ctr.Purged++
+			j.ctr.Resumed++
+			var out []*stream.Composite
+			j.activate(activation{
+				c:         susp.E.C,
+				port:      s.port,
+				seq:       susp.E.Seq,
+				reuse:     true,
+				cursor:    susp.Cursor,
+				scanBlack: true,
+				collect:   &out,
+				done:      susp.Done,
+				pending:   susp.Pending,
+				ephemeral: true,
+			})
+			for _, r := range out {
+				j.emit(r)
+			}
+		}
+	}
+	j.purge()
+}
+
+// NoDeadline is the sentinel NextDeadline returns when the operator has no
+// pending timer work: nothing it stores can expire, so Sweep is a no-op at
+// any time and the engine schedules no timer event for it (DESIGN.md §4).
+const NoDeadline = feedback.NoExpiry
+
+// NextDeadline implements the deadline contract of DESIGN.md §4: it returns
+// the earliest application time at which Sweep(now) would have any effect —
+// the minimum over every expiry the sweep acts on. For a time t strictly
+// below the returned deadline, Sweep(t) is exactly a no-op (no purge, no
+// reactivation, no counter movement), which is what lets the engine skip it.
+// The components:
+//
+//   - window expiry of stored state tuples (both sides): min MinTS + w,
+//   - blacklist anchor expiry (both sides): suspended tuples reactivate,
+//   - window expiry of suspended (parked) tuples: min MinTS + w,
+//   - MNS buffer expiry (both sides): forgotten demands are purged,
+//   - mark origin / relay expiry: unmark catch-up generates pending pairs,
+//   - window expiry of pending suppressed-pair endpoints: min MinTS + w.
+//
+// The underlying minima are cached lower bounds (state / feedback min
+// tracking): after removals they may be momentarily stale-low, so a deadline
+// can fire early — a no-op sweep — but never late. REF operators report
+// NoDeadline: their Sweep is unconditionally a no-op.
+func (j *JoinOp) NextDeadline() stream.Time {
+	if !j.mode.enabled() {
+		return NoDeadline
+	}
+	d := NoDeadline
+	for p := 0; p < 2; p++ {
+		s := j.in[p]
+		if ts, ok := s.st.MinTS(); ok && ts+j.window < d {
+			d = ts + j.window
+		}
+		if e := s.black.NextAnchorExpiry(); e < d {
+			d = e
+		}
+		if ts, ok := s.black.NextTupleMinTS(); ok && ts+j.window < d {
+			d = ts + j.window
+		}
+		if e := s.buf.NextExpiry(); e < d {
+			d = e
+		}
+	}
+	if e := j.marks.NextExpiry(); e < d {
+		d = e
+	}
+	// Pending suppressed pairs: in legacy mode their window expiry is a
+	// purge event; in exact mode they are retained until their mark's
+	// unmark catch-up (covered by NextExpiry above), so no deadline.
+	if !j.exact {
+		if ts, ok := j.marks.NextPendingMinTS(); ok && ts+j.window < d {
+			d = ts + j.window
+		}
+	}
+	return d
+}
+
+// InvalidateDeadlineCaches flushes every cached minimum NextDeadline reads,
+// so the next call is exact. The engine uses it as a liveness valve: a
+// cached lower bound can go stale-low when a shared MNS descriptor's expiry
+// is extended through another structure, and a drain driven by a deadline
+// that never advances would otherwise spin (DESIGN.md §4).
+func (j *JoinOp) InvalidateDeadlineCaches() {
+	for p := 0; p < 2; p++ {
+		s := j.in[p]
+		s.st.InvalidateMinCache()
+		s.black.InvalidateMinCaches()
+		s.buf.InvalidateMinCaches()
+	}
+	j.marks.InvalidateMinCaches()
 }
 
 // mnsMatches applies the configured matching rule: value signature when

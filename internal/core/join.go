@@ -107,6 +107,13 @@ type JoinOp struct {
 	marks  *feedback.MarkTable
 	now    stream.Time
 	frames []*probeFrame
+	// exact enables exact-delivery recovery (DESIGN.md §4): demand-buffer
+	// probes precede diversion, expiry-boundary recoveries generate the
+	// pairs REF formed live (guarded by pairValid), and parked tuples get a
+	// last-gasp catch-up when their own window closes. Off by default: the
+	// paper's 2008 prototype drops never-demanded suspended results at
+	// expiry, and the figure reproductions measure exactly that behaviour.
+	exact bool
 }
 
 // NewJoin builds a join operator from the configuration.
@@ -181,6 +188,30 @@ func (j *JoinOp) CanSuspend() bool { return j.mode.enabled() && !j.mode.IgnoreFe
 // Window returns the operator's window length.
 func (j *JoinOp) Window() stream.Time { return j.window }
 
+// SetExact toggles exact-delivery recovery (DESIGN.md §4). The engine
+// enables it for drained runs, where every suspended result must resume or
+// expire by the horizon; the default (off) reproduces the paper prototype's
+// drop-at-expiry semantics bit for bit.
+func (j *JoinOp) SetExact(on bool) { j.exact = on }
+
+// pairValid reports whether joining a and b respects the sliding window:
+// the result's constituents all lie within one window span. Live probes
+// enforce this implicitly (states are purged before probing, so a stored
+// partner is joinable exactly when the span holds); exact-mode recovery
+// paths join against structures that can still hold expired tuples, where
+// this explicit check admits exactly the pairs REF formed live and nothing
+// more.
+func (j *JoinOp) pairValid(a, b *stream.Composite) bool {
+	min, max := a.MinTS, a.TS
+	if b.MinTS < min {
+		min = b.MinTS
+	}
+	if b.TS > max {
+		max = b.TS
+	}
+	return max < min+j.window
+}
+
 // Side exposes internals for white-box tests: the state, blacklist and MNS
 // buffer of one port.
 func (j *JoinOp) Side(p operator.Port) (*state.State, *feedback.Blacklist, *feedback.Buffer) {
@@ -200,6 +231,14 @@ func (j *JoinOp) Consume(c *stream.Composite, port operator.Port) {
 	}
 	j.purge()
 	s := j.in[port]
+	if j.exact {
+		// Exact mode follows the paper's Process_Input order: the MNS
+		// buffer probe (resumption trigger) comes first, so an arrival that
+		// both satisfies a pending demand and matches a blacklist signature
+		// still fires the resumption before it is diverted (divertCheck).
+		j.activate(activation{c: c, port: port, detect: true, divertCheck: true})
+		return
+	}
 	if j.mode.enabled() && !j.mode.IgnoreFeedback && s.black.Len() > 0 {
 		e, n := s.black.MatchArrival(c, j.now, j.mode.Generalize)
 		j.ctr.Comparisons += uint64(n)
@@ -235,6 +274,16 @@ type activation struct {
 	// pending lists opposite sequences at or below cursor whose pairs were
 	// never joined (see feedback.Suspended.Pending).
 	pending []uint64
+	// divertCheck runs the blacklist diversion check after the MNS buffer
+	// probe (exact mode): a diverted input skips probe and insertion but
+	// demanded upstream results are still processed.
+	divertCheck bool
+	// ephemeral marks an exact-mode recovery of a tuple past its own
+	// window: it probes (generating its deferred pairs) but is neither
+	// parked by mid-probe suspensions nor reinserted into the state — it
+	// can never join a future arrival, and letting it re-enter a blacklist
+	// would re-arm an already-due deadline forever.
+	ephemeral bool
 }
 
 // activate runs purge-probe-insert for one input, with the JIT additions:
@@ -257,6 +306,50 @@ func (j *JoinOp) activate(a activation) {
 		}
 	}
 
+	// Exact-mode diversion: runs after the buffer probe (the resumption
+	// trigger always fires first, Process_Input lines 1-9), parking the
+	// input without a probe when it matches a blacklist signature. The
+	// demanded upstream results below are processed either way.
+	diverted := false
+	if a.divertCheck && !a.ephemeral && j.mode.enabled() && !j.mode.IgnoreFeedback && s.black.Len() > 0 {
+		e, n := s.black.MatchArrival(a.c, j.now, j.mode.Generalize)
+		j.ctr.Comparisons += uint64(n)
+		if e != nil {
+			s.black.Park(e, feedback.Suspended{E: state.Entry{C: a.c, Seq: a.seq}, Cursor: 0})
+			j.ctr.Suspended++
+			diverted = true
+		}
+	}
+	if !diverted {
+		j.probeInsert(a, s, o)
+	}
+
+	// Process S_Π: the demanded partial results returned by the producer.
+	// Each is a brand-new input on the opposite side; by the resumption
+	// argument (DESIGN.md §2) only the current input can match them, so the
+	// full probe below performs exactly the paper's "join t with S_Π" plus
+	// cheap failing comparisons, while keeping cascaded resumption and mark
+	// bookkeeping uniform.
+	for _, u := range spi {
+		if !j.exact && u.MinTS+j.window <= j.now {
+			continue // expired while suspended upstream
+		}
+		if j.exact {
+			j.activate(activation{c: u, port: a.port.Opposite(), collect: a.collect,
+				divertCheck: true, ephemeral: u.MinTS+j.window <= j.now})
+			continue
+		}
+		if j.divert(u, a.port.Opposite()) {
+			continue
+		}
+		j.activate(activation{c: u, port: a.port.Opposite(), collect: a.collect})
+	}
+}
+
+// probeInsert is the probe-and-insert body of activate: pre-probe marking,
+// state/blacklist/pending probes, detection, deferred parking, and state
+// insertion.
+func (j *JoinOp) probeInsert(a activation, s, o *side) {
 	// Pre-probe marking: an input matching an origin mark entry's side
 	// signature acquires the mark id now, so suppression applies during its
 	// own probe (otherwise a live pair would be generated and later
@@ -312,7 +405,12 @@ func (j *JoinOp) activate(a activation) {
 
 	// A suspension received mid-probe parks the input now that its probe is
 	// complete (cursor = full opposite watermark), unless the entry has
-	// already been resumed or expired in the meantime.
+	// already been resumed or expired in the meantime. Ephemeral recoveries
+	// are never parked or inserted: their catch-up is complete and they are
+	// past their window, so they simply vanish.
+	if a.ephemeral {
+		return
+	}
 	if !f.parked && f.parkEntry != nil {
 		if cur, ok := s.black.Entry(f.parkEntry.MNS.Key()); ok && cur == f.parkEntry {
 			var pending []uint64
@@ -343,22 +441,6 @@ func (j *JoinOp) activate(a activation) {
 			j.bloomInsert(s, a.c)
 		}
 		j.registerMarks(se, a.port)
-	}
-
-	// Process S_Π: the demanded partial results returned by the producer.
-	// Each is a brand-new input on the opposite side; by the resumption
-	// argument (DESIGN.md §2) only the current input can match them, so the
-	// full probe below performs exactly the paper's "join t with S_Π" plus
-	// cheap failing comparisons, while keeping cascaded resumption and mark
-	// bookkeeping uniform.
-	for _, u := range spi {
-		if u.MinTS+j.window <= j.now {
-			continue // expired while suspended upstream
-		}
-		if j.divert(u, a.port.Opposite()) {
-			continue
-		}
-		j.activate(activation{c: u, port: a.port.Opposite(), collect: a.collect})
 	}
 }
 
@@ -510,8 +592,8 @@ func (j *JoinOp) probeBlacklists(f *probeFrame, o *side, cursor uint64, collect 
 			if susp.E.Seq <= cursor {
 				continue
 			}
-			if susp.E.C.MinTS+j.window <= j.now {
-				continue
+			if !j.exact && susp.E.C.MinTS+j.window <= j.now {
+				continue // exact mode: joinPair's pairValid decides instead
 			}
 			if f.done != nil && f.done[susp.E.Seq] {
 				continue
@@ -587,7 +669,7 @@ func (j *JoinOp) probePending(f *probeFrame, o *side, pending []uint64, collect 
 		i := o.st.IndexAfter(seq - 1)
 		if i < o.st.Len() {
 			if e := o.st.At(i); e.Seq == seq {
-				if e.C.MinTS+j.window > j.now {
+				if j.exact || e.C.MinTS+j.window > j.now {
 					j.ctr.CatchUpJoins++
 					j.joinPair(f, j.in[f.port], e, nil, collect, false, phaseFull)
 				}
@@ -601,7 +683,7 @@ func (j *JoinOp) probePending(f *probeFrame, o *side, pending []uint64, collect 
 				if susp.E.Seq != seq {
 					continue
 				}
-				if susp.IsDone(f.seq) || susp.E.C.MinTS+j.window <= j.now {
+				if susp.IsDone(f.seq) || (!j.exact && susp.E.C.MinTS+j.window <= j.now) {
 					break
 				}
 				j.ctr.CatchUpJoins++
@@ -650,6 +732,13 @@ func (j *JoinOp) joinPair(f *probeFrame, s *side, e state.Entry, det *detectCtx,
 		mask, full, n := j.evalAtoms(f.input, s, e.C, true)
 		j.ctr.Comparisons += uint64(n)
 		det.observe(j, mask, full)
+		return false
+	}
+	if j.exact && !j.pairValid(f.input, e.C) {
+		// Exact-mode recovery probe against a partner outside the pair's
+		// window span: REF never formed this pair, so neither bookkeeping
+		// nor generation may happen (recording it as suppressed would
+		// resurrect it at unmark).
 		return false
 	}
 	suppressedID := uint64(0)
@@ -743,11 +832,17 @@ func (j *JoinOp) purge() {
 			j.bloomNoteDeletes(s, purged)
 		}
 		if j.mode.enabled() {
-			j.ctr.Purged += uint64(s.black.PurgeTuples(j.now, j.window))
+			if !j.exact {
+				// Exact mode replaces the silent drop with a last-gasp
+				// catch-up at each parked tuple's window close (Sweep), and
+				// keeps pending suppressed pairs until their mark unmarks —
+				// both were formed live and stay deliverable (pairValid).
+				j.ctr.Purged += uint64(s.black.PurgeTuples(j.now, j.window))
+			}
 			s.buf.Purge(j.now)
 		}
 	}
-	if j.mode.enabled() && !j.marks.Empty() {
+	if j.mode.enabled() && !j.exact && !j.marks.Empty() {
 		j.ctr.Purged += uint64(j.marks.PurgePending(j.now, j.window))
 	}
 }

@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/plan"
+	"repro/internal/predicate"
+	"repro/internal/source"
+	"repro/internal/stream"
+)
+
+// roadmapWorkload is the dense end-of-stream workload from the ROADMAP open
+// item: N=4, λ=8, dmax=100, w=2min, h=3min, seed 1. The horizon sits close
+// enough to the window that suspended results routinely have resumption
+// triggers or anchor expiries past the last arrival — without the drain
+// phase JIT delivers fewer finals than REF.
+func roadmapWorkload(t *testing.T) (*stream.Catalog, predicate.Conj, []*stream.Tuple) {
+	t.Helper()
+	cat, conj := predicate.Clique(4)
+	arrivals := source.Generate(cat, source.UniformConfig(4, 8, 100, 3*stream.Minute, 1))
+	return cat, conj, arrivals
+}
+
+func runDrained(t *testing.T, cat *stream.Catalog, conj predicate.Conj, arrivals []*stream.Tuple, shape *plan.Node, mode core.Mode) (Result, []string) {
+	t.Helper()
+	b := plan.BuildTree(cat, conj, shape, plan.Options{
+		Window: 2 * stream.Minute, Mode: mode, KeepResults: true,
+	})
+	r := NewWithOptions(b, Options{Drain: true}).Run(arrivals)
+	return r, b.Sink.ResultKeys()
+}
+
+// TestEndOfStreamDrain asserts the drain-at-horizon invariant on the exact
+// ROADMAP workload: with Options.Drain every mode delivers the same finals
+// as REF, in the same sink order, on both plan shapes.
+func TestEndOfStreamDrain(t *testing.T) {
+	cat, conj, arrivals := roadmapWorkload(t)
+	shapes := []struct {
+		name string
+		node *plan.Node
+	}{
+		{"bushy", plan.Bushy(4)},
+	}
+	modes := []struct {
+		name string
+		mode core.Mode
+	}{
+		{"JIT", core.JIT()},
+		{"DOE", core.DOE()},
+		{"Bloom", core.BloomJIT()},
+	}
+	for _, sh := range shapes {
+		ref, refKeys := runDrained(t, cat, conj, arrivals, sh.node, core.REF())
+		if ref.Counters.FinalResults == 0 {
+			t.Fatalf("%s: degenerate workload, REF delivered nothing", sh.name)
+		}
+		for _, m := range modes {
+			r, keys := runDrained(t, cat, conj, arrivals, sh.node, m.mode)
+			if r.Counters.FinalResults != ref.Counters.FinalResults {
+				t.Errorf("%s %s: %d finals vs REF %d", sh.name, m.name,
+					r.Counters.FinalResults, ref.Counters.FinalResults)
+			}
+			if r.OrderViolations != 0 {
+				t.Errorf("%s %s: %d order violations", sh.name, m.name, r.OrderViolations)
+			}
+			if len(keys) != len(refKeys) {
+				t.Errorf("%s %s: sink kept %d results vs REF %d", sh.name, m.name, len(keys), len(refKeys))
+				continue
+			}
+			for i := range keys {
+				if keys[i] != refKeys[i] {
+					t.Errorf("%s %s: sink order diverges at %d: %s vs REF %s",
+						sh.name, m.name, i, keys[i], refKeys[i])
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestDrainlessRunDropsFinals pins the gap the drain exists to close: on the
+// same workload a drain-less JIT run delivers strictly fewer finals than
+// REF. If this ever starts passing without the drain, the workload no
+// longer exercises the end-of-stream case and should be retuned.
+func TestDrainlessRunDropsFinals(t *testing.T) {
+	cat, conj, arrivals := roadmapWorkload(t)
+	build := func(mode core.Mode) *plan.Built {
+		return plan.BuildTree(cat, conj, plan.Bushy(4), plan.Options{
+			Window: 2 * stream.Minute, Mode: mode,
+		})
+	}
+	refB := build(core.REF())
+	New(refB).Run(arrivals)
+	jitB := build(core.JIT())
+	New(jitB).Run(arrivals)
+	if jitB.Counters.FinalResults >= refB.Counters.FinalResults {
+		t.Fatalf("drain-less JIT delivered %d finals, REF %d — workload no longer exercises the end-of-stream gap",
+			jitB.Counters.FinalResults, refB.Counters.FinalResults)
+	}
+}

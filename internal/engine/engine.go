@@ -1,15 +1,35 @@
-// Package engine drives a built plan over an arrival sequence. The
-// deterministic engine processes arrivals in timestamp order; before each
-// arrival it runs the expiry sweep over every operator (DESIGN.md §2) and
-// then pushes the tuple into its feed operator, which recursively drives
-// the pipelined plan to quiescence — the synchronous equivalent of the
-// pre-emptive scheduling policies of Sec. III-B/C.
+// Package engine drives a built plan as an event loop over two kinds of
+// events: tuple arrivals, pulled lazily from a streaming source, and timer
+// deadlines, announced by the operators themselves (core.JoinOp.NextDeadline)
+// and merged with the arrival sequence through a binary min-heap.
+//
+// Each arrival first fires the expiry sweep on exactly the operators whose
+// deadline has passed (DESIGN.md §4; a sweep below an operator's deadline is
+// provably a no-op, so skipping it changes nothing), then enters its feed
+// operator and drives the pipelined plan synchronously to quiescence — the
+// single-threaded equivalent of the paper's pre-emptive scheduling policies
+// (Sec. III-B/C).
+//
+// After the source is exhausted, an optional drain phase (Options.Drain)
+// keeps popping timer deadlines in time order up to the application horizon,
+// so every suspended result either resumes or expires — without it, results
+// whose resumption trigger or anchor expiry falls after the last arrival
+// would be silently dropped (DESIGN.md §4, drain-at-horizon invariant).
+// Drain also switches every operator into exact-delivery recovery
+// (core.JoinOp.SetExact): expiry-boundary recoveries generate the pairs REF
+// formed live, so a drained run's finals match REF in every mode.
+//
+// Ingestion is streaming: RunStream pulls tuples one at a time from a
+// next-func iterator (see source.Stream for the lazy workload generator), so
+// memory stays O(operator state) instead of O(arrivals). Run adapts a
+// materialized slice to the same loop.
 package engine
 
 import (
 	"fmt"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/plan"
 	"repro/internal/stream"
@@ -34,30 +54,114 @@ type Result struct {
 	Arrivals int
 }
 
+// Options configures a run.
+type Options struct {
+	// Drain keeps firing timer deadlines after the last arrival, in time
+	// order, so suspended results whose resumption trigger or anchor expiry
+	// falls past the end of the stream are still delivered (the end-of-
+	// stream drain of DESIGN.md §4). Drain also enables exact-delivery
+	// recovery on every operator, making finals match REF in every mode.
+	// Off by default: a drain-less run is bit-identical to the historical
+	// slice-driven engine, which the paper's figure reproductions
+	// (internal/exp) rely on.
+	Drain bool
+	// Horizon caps the drain: deadlines beyond it are left unfired. Zero
+	// means the natural application horizon — the last arrival's timestamp
+	// plus the plan window, past which every finite deadline has fired and
+	// every window has closed.
+	Horizon stream.Time
+	// SweepEveryArrival disables deadline scheduling and sweeps every
+	// operator before every arrival — the pre-deadline hot path, kept as the
+	// baseline for the sweep-scheduling benchmarks. Results and counters
+	// other than Sweeps are identical either way (DESIGN.md §4).
+	SweepEveryArrival bool
+}
+
 // Engine executes one plan over one arrival sequence.
 type Engine struct {
 	built *plan.Built
+	opts  Options
 }
 
-// New creates an engine for a built plan.
-func New(b *plan.Built) *Engine { return &Engine{built: b} }
+// New creates an engine for a built plan with default options (no drain,
+// deadline-scheduled sweeps). Like NewWithOptions, it (re)applies its
+// options to the plan's operators, so reusing one plan across engines never
+// leaks a previous engine's exact-delivery mode.
+func New(b *plan.Built) *Engine { return NewWithOptions(b, Options{}) }
+
+// NewWithOptions creates an engine with explicit options. Drain implies
+// exact-delivery mode on every operator: recovery at expiry boundaries
+// generates the pairs REF formed live (core.JoinOp.SetExact, DESIGN.md §4),
+// which is what makes the drained run's finals match REF exactly. Without
+// Drain the operators keep the paper prototype's drop-at-expiry semantics,
+// bit-identical to the historical engine.
+func NewWithOptions(b *plan.Built, o Options) *Engine {
+	for _, j := range b.Joins {
+		j.SetExact(o.Drain)
+	}
+	return &Engine{built: b, opts: o}
+}
 
 // Built exposes the underlying plan.
 func (e *Engine) Built() *plan.Built { return e.built }
 
-// Run processes the arrivals and returns the run summary.
+// Run processes a materialized arrival slice — a convenience wrapper around
+// RunStream for tests and hand-built traces.
 func (e *Engine) Run(arrivals []*stream.Tuple) Result {
+	i := 0
+	return e.RunStream(func() (*stream.Tuple, bool) {
+		if i >= len(arrivals) {
+			return nil, false
+		}
+		t := arrivals[i]
+		i++
+		return t, true
+	})
+}
+
+// RunStream pulls tuples from next until it reports false, interleaving
+// arrival processing with deadline-driven expiry sweeps, then (with
+// Options.Drain) drains the remaining timer deadlines to the horizon. The
+// source must yield tuples in non-decreasing timestamp order.
+func (e *Engine) RunStream(next func() (*stream.Tuple, bool)) Result {
 	b := e.built
 	start := time.Now()
 	n := b.Catalog.NumSources()
-	for _, t := range arrivals {
-		b.Sweep(t.TS)
+	sched := newScheduler(b.Joins)
+	arrivals := 0
+	lastTS := stream.Time(0)
+	for {
+		t, ok := next()
+		if !ok {
+			break
+		}
+		arrivals++
+		lastTS = t.TS
+		if e.opts.SweepEveryArrival {
+			b.Counters.Sweeps += uint64(len(b.Joins))
+			b.Sweep(t.TS)
+		} else {
+			sched.fireDue(t.TS, b.Counters)
+		}
 		feed, ok := b.Feeds[t.Source]
 		if !ok {
 			panic(fmt.Sprintf("engine: no feed for source %d", t.Source))
 		}
 		c := stream.NewComposite(n, t)
 		feed.Op.Consume(c, feed.Port)
+		if !e.opts.SweepEveryArrival {
+			sched.refresh()
+		}
+	}
+	if e.opts.Drain {
+		horizon := e.opts.Horizon
+		if horizon == 0 {
+			horizon = lastTS + b.Window
+		}
+		if e.opts.SweepEveryArrival {
+			sched.refresh() // the arrival loop kept no schedule; build one
+		}
+		sched.drain(horizon, b.Counters)
 	}
 	wall := time.Since(start)
 	return Result{
@@ -67,6 +171,173 @@ func (e *Engine) Run(arrivals []*stream.Tuple) Result {
 		PeakMemKB:       b.Account.PeakKB(),
 		Counters:        *b.Counters,
 		OrderViolations: b.Sink.OrderViolations,
-		Arrivals:        len(arrivals),
+		Arrivals:        arrivals,
 	}
+}
+
+// timerEvent is one scheduled deadline: operator joins[idx] believes its next
+// sweep is due at time at. Events are never deleted in place; an event is
+// stale (and skipped on pop) when the operator's recorded deadline has moved.
+type timerEvent struct {
+	at  stream.Time
+	idx int
+}
+
+// scheduler merges the operators' sweep deadlines through a binary min-heap
+// with lazy invalidation (DESIGN.md §4).
+type scheduler struct {
+	joins     []*core.JoinOp
+	deadlines []stream.Time // current NextDeadline per operator
+	heap      []timerEvent  // min-heap on (at, idx)
+}
+
+func newScheduler(joins []*core.JoinOp) *scheduler {
+	s := &scheduler{joins: joins, deadlines: make([]stream.Time, len(joins))}
+	for i := range s.deadlines {
+		s.deadlines[i] = core.NoDeadline
+	}
+	return s
+}
+
+// refresh re-reads every operator's deadline and schedules the ones that
+// moved. Stale heap entries are left behind and skipped on pop.
+func (s *scheduler) refresh() {
+	for i, j := range s.joins {
+		d := j.NextDeadline()
+		if d != s.deadlines[i] {
+			s.deadlines[i] = d
+			if d < core.NoDeadline {
+				s.push(timerEvent{at: d, idx: i})
+			}
+		}
+	}
+}
+
+// peek returns the earliest live deadline, skipping and discarding stale
+// heap entries; ok is false when no timer is scheduled.
+func (s *scheduler) peek() (stream.Time, bool) {
+	for len(s.heap) > 0 {
+		ev := s.heap[0]
+		if ev.at != s.deadlines[ev.idx] {
+			s.pop()
+			continue
+		}
+		return ev.at, true
+	}
+	return 0, false
+}
+
+// fireDue runs the expiry sweep, at time now, on every operator whose
+// deadline has passed. Operators are visited in plan order (producers before
+// consumers), re-checking the live deadline per operator so that cascades
+// triggered by an earlier sweep are picked up within the same pass — exactly
+// the work the historical sweep-every-arrival pass performed, minus the
+// no-op sweeps.
+func (s *scheduler) fireDue(now stream.Time, ctr *metrics.Counters) {
+	if at, ok := s.peek(); !ok || at > now {
+		return
+	}
+	for _, j := range s.joins {
+		if j.NextDeadline() <= now {
+			ctr.Sweeps++
+			j.Sweep(now)
+		}
+	}
+	s.refresh()
+}
+
+// drain fires the remaining timer deadlines in time order: the engine clock
+// advances to each deadline and sweeps the operators due at it, so suspended
+// tuples reactivate while their windows are still open. Deadlines are cached
+// lower bounds, so a fired deadline can be a no-op; when the same deadline
+// survives a full round the scheduler flushes every operator's caches to
+// exact values (the liveness valve of DESIGN.md §4 — a shared MNS expiry
+// extension can leave a cached minimum stale-low forever) and, if the
+// deadline still refuses to advance after an exact sweep, drops it. The
+// clock never moves backwards, so the loop reaches the horizon — or the
+// last finite deadline — in finitely many rounds.
+func (s *scheduler) drain(horizon stream.Time, ctr *metrics.Counters) {
+	prev, stuck := stream.Time(-1), 0
+	for {
+		d, ok := s.peek()
+		if !ok || d > horizon {
+			return
+		}
+		if d == prev {
+			stuck++
+			switch {
+			case stuck == 1:
+				// First repeat: flush every cached minimum so the next
+				// deadline read is exact, then re-evaluate.
+				for _, j := range s.joins {
+					j.InvalidateDeadlineCaches()
+				}
+				s.refresh()
+				continue
+			case stuck >= 3:
+				// Even an exact sweep left the deadline in place: drop the
+				// event. The operator re-enters the heap only when its
+				// reported deadline moves, and it still gets swept whenever
+				// any later deadline fires, so no real work is lost.
+				s.pop()
+				prev, stuck = -1, 0
+				continue
+			}
+		} else {
+			prev, stuck = d, 0
+		}
+		for _, j := range s.joins {
+			if j.NextDeadline() <= d {
+				ctr.Sweeps++
+				j.Sweep(d)
+			}
+		}
+		s.refresh()
+	}
+}
+
+// push inserts a timer event, sifting up.
+func (s *scheduler) push(ev timerEvent) {
+	s.heap = append(s.heap, ev)
+	i := len(s.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.less(i, p) {
+			break
+		}
+		s.heap[i], s.heap[p] = s.heap[p], s.heap[i]
+		i = p
+	}
+}
+
+// pop removes the top event, sifting down.
+func (s *scheduler) pop() {
+	last := len(s.heap) - 1
+	s.heap[0] = s.heap[last]
+	s.heap = s.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < last && s.less(l, m) {
+			m = l
+		}
+		if r < last && s.less(r, m) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		s.heap[i], s.heap[m] = s.heap[m], s.heap[i]
+		i = m
+	}
+}
+
+// less orders events by time, breaking ties by plan position so heap
+// behaviour is deterministic.
+func (s *scheduler) less(i, j int) bool {
+	if s.heap[i].at != s.heap[j].at {
+		return s.heap[i].at < s.heap[j].at
+	}
+	return s.heap[i].idx < s.heap[j].idx
 }

@@ -68,6 +68,16 @@ type Blacklist struct {
 	groups    map[string]*sigGroup
 	groupList []*sigGroup
 	empty     *Entry // the Ø entry, matching every arrival
+	// Deadline caches (DESIGN.md §4): the earliest anchor expiry among
+	// entries and the earliest MinTS among parked tuples, maintained exactly
+	// on insertion and recomputed lazily after mutations that can raise them.
+	// A stale cache is always a lower bound, so deadlines fire early (a
+	// no-op sweep), never late.
+	anchorMin   stream.Time
+	anchorDirty bool
+	parkMin     stream.Time
+	parkHas     bool
+	parkDirty   bool
 }
 
 // sigGroup is the per-attribute-set hash of entries.
@@ -141,10 +151,16 @@ func (b *Blacklist) Ensure(m *MNS) (e *Entry, created bool) {
 	if old, ok := b.byKey[m.Key()]; ok {
 		if m.Expiry > old.MNS.Expiry {
 			old.MNS.Expiry = m.Expiry
+			b.anchorDirty = true // the raised expiry may have been the min
 		}
 		return old, false
 	}
 	e = &Entry{MNS: m}
+	if len(b.entries) == 0 {
+		b.anchorMin, b.anchorDirty = m.Expiry, false
+	} else if !b.anchorDirty && m.Expiry < b.anchorMin {
+		b.anchorMin = m.Expiry
+	}
 	b.entries = append(b.entries, e)
 	b.byKey[m.Key()] = e
 	b.index(e)
@@ -185,8 +201,62 @@ func (b *Blacklist) unindex(e *Entry) {
 
 // Park adds a suspended tuple under entry e, charging its storage.
 func (b *Blacklist) Park(e *Entry, s Suspended) {
+	if !b.parkHas {
+		b.parkMin, b.parkHas, b.parkDirty = s.E.C.MinTS, true, false
+	} else if !b.parkDirty && s.E.C.MinTS < b.parkMin {
+		b.parkMin = s.E.C.MinTS
+	}
 	e.Tuples = append(e.Tuples, s)
 	b.acct.Alloc(s.E.C.DeepSizeBytes())
+}
+
+// NextAnchorExpiry returns the earliest anchor expiry among entries, or
+// NoExpiry when no entry can ever expire (empty blacklist, or only the Ø
+// entry). This is the blacklist's contribution to the operator's sweep
+// deadline (DESIGN.md §4).
+func (b *Blacklist) NextAnchorExpiry() stream.Time {
+	if len(b.entries) == 0 {
+		return NoExpiry
+	}
+	if b.anchorDirty {
+		b.anchorDirty = false
+		b.anchorMin = NoExpiry
+		for _, e := range b.entries {
+			if e.MNS.Expiry < b.anchorMin {
+				b.anchorMin = e.MNS.Expiry
+			}
+		}
+	}
+	return b.anchorMin
+}
+
+// InvalidateMinCaches forces the next NextAnchorExpiry / NextTupleMinTS
+// reads to recompute exactly. MNS descriptors are shared across structures
+// (an entry's anchor can also sit in a consumer's buffer), so an in-place
+// expiry extension elsewhere can leave this blacklist's cached minima
+// stale-low without its dirty flags set; the engine flushes before trusting
+// a deadline that refuses to advance (DESIGN.md §4).
+func (b *Blacklist) InvalidateMinCaches() {
+	b.anchorDirty = true
+	b.parkDirty = true
+}
+
+// NextTupleMinTS returns the earliest MinTS among parked tuples; ok is false
+// when nothing is parked. The earliest parked-tuple purge deadline is
+// MinTS + window.
+func (b *Blacklist) NextTupleMinTS() (stream.Time, bool) {
+	if b.parkDirty {
+		b.parkDirty, b.parkHas = false, false
+		for _, e := range b.entries {
+			for i := range e.Tuples {
+				ts := e.Tuples[i].E.C.MinTS
+				if !b.parkHas || ts < b.parkMin {
+					b.parkMin, b.parkHas = ts, true
+				}
+			}
+		}
+	}
+	return b.parkMin, b.parkHas
 }
 
 // MatchArrival checks a freshly arriving composite against every entry.
@@ -244,6 +314,7 @@ func (b *Blacklist) TakeExpired(now stream.Time) []*Entry {
 // PurgeTuples drops expired tuples inside every entry and returns the count.
 func (b *Blacklist) PurgeTuples(now, window stream.Time) int {
 	n := 0
+	b.parkDirty, b.parkHas = false, false
 	for _, e := range b.entries {
 		kept := e.Tuples[:0]
 		for _, s := range e.Tuples {
@@ -251,6 +322,9 @@ func (b *Blacklist) PurgeTuples(now, window stream.Time) int {
 				b.acct.Free(s.E.C.DeepSizeBytes())
 				n++
 				continue
+			}
+			if !b.parkHas || s.E.C.MinTS < b.parkMin {
+				b.parkMin, b.parkHas = s.E.C.MinTS, true
 			}
 			kept = append(kept, s)
 		}
@@ -260,6 +334,34 @@ func (b *Blacklist) PurgeTuples(now, window stream.Time) int {
 		e.Tuples = kept
 	}
 	return n
+}
+
+// TakeExpiredTuples removes and returns the parked tuples whose own window
+// has closed, in entry-insertion then park order (deterministic). The
+// exact-delivery sweep gives each a last-gasp catch-up before it is
+// forgotten; storage is uncharged here, mirroring PurgeTuples.
+func (b *Blacklist) TakeExpiredTuples(now, window stream.Time) []Suspended {
+	var taken []Suspended
+	b.parkDirty, b.parkHas = false, false
+	for _, e := range b.entries {
+		kept := e.Tuples[:0]
+		for _, s := range e.Tuples {
+			if s.E.C.MinTS+window <= now {
+				b.acct.Free(s.E.C.DeepSizeBytes())
+				taken = append(taken, s)
+				continue
+			}
+			if !b.parkHas || s.E.C.MinTS < b.parkMin {
+				b.parkMin, b.parkHas = s.E.C.MinTS, true
+			}
+			kept = append(kept, s)
+		}
+		for i := len(kept); i < len(e.Tuples); i++ {
+			e.Tuples[i] = Suspended{}
+		}
+		e.Tuples = kept
+	}
+	return taken
 }
 
 // ReleaseTuples uncharges the storage of an entry's tuples; called when the
@@ -285,6 +387,10 @@ func (b *Blacklist) HasExpired(now stream.Time) bool {
 func (b *Blacklist) Entries() []*Entry { return append([]*Entry(nil), b.entries...) }
 
 func (b *Blacklist) remove(e *Entry) {
+	b.anchorDirty = true
+	if len(e.Tuples) > 0 {
+		b.parkDirty = true
+	}
 	b.unindex(e)
 	delete(b.byKey, e.MNS.Key())
 	b.acct.Free(e.MNS.SizeBytes())

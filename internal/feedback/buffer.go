@@ -30,6 +30,10 @@ type Buffer struct {
 	groups    map[string]*probeGroup
 	groupList []*probeGroup
 	empty     *MNS // Ø, matched by every opposite arrival
+	// Deadline cache (DESIGN.md §4): earliest expiry among buffered MNSs,
+	// exact on insertion, lazily recomputed after removals and extensions.
+	expiryMin   stream.Time
+	expiryDirty bool
 }
 
 // probeGroup hashes MNSs sharing one opposite-attribute set.
@@ -112,8 +116,14 @@ func (b *Buffer) Add(m *MNS) (kept *MNS, added bool) {
 	if old, ok := b.byKey[m.Key()]; ok {
 		if m.Expiry > old.Expiry {
 			old.Expiry = m.Expiry
+			b.expiryDirty = true // the raised expiry may have been the min
 		}
 		return old, false
+	}
+	if len(b.entries) == 0 {
+		b.expiryMin, b.expiryDirty = m.Expiry, false
+	} else if !b.expiryDirty && m.Expiry < b.expiryMin {
+		b.expiryMin = m.Expiry
 	}
 	b.entries = append(b.entries, m)
 	b.byKey[m.Key()] = m
@@ -166,10 +176,35 @@ func (b *Buffer) unindex(m *MNS) {
 	}
 }
 
+// InvalidateMinCaches forces the next NextExpiry read to recompute exactly
+// (see Blacklist.InvalidateMinCaches for why shared MNS descriptors make
+// this necessary).
+func (b *Buffer) InvalidateMinCaches() { b.expiryDirty = len(b.entries) > 0 }
+
+// NextExpiry returns the earliest expiry among buffered MNSs, or NoExpiry
+// when the buffer holds nothing that can expire — its contribution to the
+// operator's sweep deadline (DESIGN.md §4).
+func (b *Buffer) NextExpiry() stream.Time {
+	if len(b.entries) == 0 {
+		return NoExpiry
+	}
+	if b.expiryDirty {
+		b.expiryDirty = false
+		b.expiryMin = NoExpiry
+		for _, m := range b.entries {
+			if m.Expiry < b.expiryMin {
+				b.expiryMin = m.Expiry
+			}
+		}
+	}
+	return b.expiryMin
+}
+
 // Purge drops expired MNSs and returns how many were removed.
 func (b *Buffer) Purge(now stream.Time) int {
 	kept := b.entries[:0]
 	n := 0
+	b.expiryDirty = false
 	for _, m := range b.entries {
 		if m.Expiry <= now {
 			delete(b.byKey, m.Key())
@@ -177,6 +212,9 @@ func (b *Buffer) Purge(now stream.Time) int {
 			b.acct.Free(m.SizeBytes())
 			n++
 			continue
+		}
+		if len(kept) == 0 || m.Expiry < b.expiryMin {
+			b.expiryMin = m.Expiry
 		}
 		kept = append(kept, m)
 	}
@@ -205,6 +243,7 @@ func (b *Buffer) Probe(t *stream.Composite) (matched []*MNS, comparisons int) {
 	if len(matched) == 0 {
 		return nil, comparisons
 	}
+	b.expiryDirty = true
 	for _, m := range matched {
 		delete(b.byKey, m.Key())
 		b.unindex(m)

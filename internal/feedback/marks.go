@@ -52,6 +52,14 @@ type MarkTable struct {
 	relays  []*RelayEntry
 	relayBy map[string]*RelayEntry
 	active  map[uint64]*OriginEntry // origin mark ids currently suppressing
+	// Deadline caches (DESIGN.md §4): earliest expiry among origin and relay
+	// entries, and earliest endpoint MinTS among pending suppressed pairs.
+	// Exact on insertion, lazily recomputed after removals and extensions.
+	expiryMin   stream.Time
+	expiryDirty bool
+	pendMin     stream.Time
+	pendHas     bool
+	pendDirty   bool
 }
 
 // NewMarkTable creates an empty table.
@@ -90,9 +98,11 @@ func (t *MarkTable) ActivateOrigin(m *MNS, leftSources, rightSources stream.Sour
 	if old, ok := t.byKey[m.Key()]; ok {
 		if m.Expiry > old.MNS.Expiry {
 			old.MNS.Expiry = m.Expiry
+			t.expiryDirty = true // the raised expiry may have been the min
 		}
 		return nil
 	}
+	t.noteExpiry(m.Expiry)
 	e := &OriginEntry{
 		MNS:  m,
 		SigL: m.Sig.Restrict(leftSources),
@@ -125,8 +135,78 @@ func (t *MarkTable) Enroll(e *OriginEntry, left bool, se state.Entry) bool {
 // RecordSuppressed parks a suppressed pair under entry e, charging its
 // bookkeeping storage.
 func (t *MarkTable) RecordSuppressed(e *OriginEntry, l, r state.Entry) {
+	ts := l.C.MinTS
+	if r.C.MinTS < ts {
+		ts = r.C.MinTS
+	}
+	if !t.pendHas {
+		t.pendMin, t.pendHas, t.pendDirty = ts, true, false
+	} else if !t.pendDirty && ts < t.pendMin {
+		t.pendMin = ts
+	}
 	e.Pending = append(e.Pending, PendingPair{L: l, R: r})
 	t.acct.Alloc(pendingPairBytes)
+}
+
+// noteExpiry folds a freshly installed entry's expiry into the cache.
+func (t *MarkTable) noteExpiry(expiry stream.Time) {
+	if len(t.origins)+len(t.relays) == 0 {
+		t.expiryMin, t.expiryDirty = expiry, false
+	} else if !t.expiryDirty && expiry < t.expiryMin {
+		t.expiryMin = expiry
+	}
+}
+
+// InvalidateMinCaches forces the next NextExpiry / NextPendingMinTS reads
+// to recompute exactly (see Blacklist.InvalidateMinCaches).
+func (t *MarkTable) InvalidateMinCaches() {
+	t.expiryDirty = true
+	t.pendDirty = true
+}
+
+// NextExpiry returns the earliest expiry among origin and relay entries, or
+// NoExpiry when the table holds none — the mark machinery's contribution to
+// the operator's sweep deadline (DESIGN.md §4).
+func (t *MarkTable) NextExpiry() stream.Time {
+	if len(t.origins)+len(t.relays) == 0 {
+		return NoExpiry
+	}
+	if t.expiryDirty {
+		t.expiryDirty = false
+		t.expiryMin = NoExpiry
+		for _, e := range t.origins {
+			if e.MNS.Expiry < t.expiryMin {
+				t.expiryMin = e.MNS.Expiry
+			}
+		}
+		for _, r := range t.relays {
+			if r.MNS.Expiry < t.expiryMin {
+				t.expiryMin = r.MNS.Expiry
+			}
+		}
+	}
+	return t.expiryMin
+}
+
+// NextPendingMinTS returns the earliest endpoint MinTS among pending
+// suppressed pairs; ok is false when no pair is parked. The earliest pending
+// purge deadline is MinTS + window.
+func (t *MarkTable) NextPendingMinTS() (stream.Time, bool) {
+	if t.pendDirty {
+		t.pendDirty, t.pendHas = false, false
+		for _, e := range t.origins {
+			for _, p := range e.Pending {
+				ts := p.L.C.MinTS
+				if p.R.C.MinTS < ts {
+					ts = p.R.C.MinTS
+				}
+				if !t.pendHas || ts < t.pendMin {
+					t.pendMin, t.pendHas = ts, true
+				}
+			}
+		}
+	}
+	return t.pendMin, t.pendHas
 }
 
 const pendingPairBytes = 48
@@ -214,6 +294,7 @@ func (t *MarkTable) HasExpired(now stream.Time) bool {
 // can never contribute to output (fruitless partial results).
 func (t *MarkTable) PurgePending(now, window stream.Time) int {
 	n := 0
+	t.pendDirty, t.pendHas = false, false
 	for _, e := range t.origins {
 		kept := e.Pending[:0]
 		for _, p := range e.Pending {
@@ -221,6 +302,13 @@ func (t *MarkTable) PurgePending(now, window stream.Time) int {
 				t.acct.Free(pendingPairBytes)
 				n++
 				continue
+			}
+			ts := p.L.C.MinTS
+			if p.R.C.MinTS < ts {
+				ts = p.R.C.MinTS
+			}
+			if !t.pendHas || ts < t.pendMin {
+				t.pendMin, t.pendHas = ts, true
 			}
 			kept = append(kept, p)
 		}
@@ -234,10 +322,17 @@ func (t *MarkTable) PurgePending(now, window stream.Time) int {
 
 // ReleasePending uncharges the pending-pair storage of a dissolved entry.
 func (t *MarkTable) ReleasePending(e *OriginEntry) {
+	if len(e.Pending) > 0 {
+		t.pendDirty = true
+	}
 	t.acct.Free(int64(len(e.Pending)) * pendingPairBytes)
 }
 
 func (t *MarkTable) removeOrigin(e *OriginEntry) {
+	t.expiryDirty = true
+	if len(e.Pending) > 0 {
+		t.pendDirty = true
+	}
 	delete(t.byKey, e.MNS.Key())
 	delete(t.active, e.MNS.ID)
 	t.acct.Free(e.MNS.SizeBytes())
@@ -257,9 +352,11 @@ func (t *MarkTable) AddRelay(m *MNS) bool {
 	if old, ok := t.relayBy[m.Key()]; ok {
 		if m.Expiry > old.MNS.Expiry {
 			old.MNS.Expiry = m.Expiry
+			t.expiryDirty = true // the raised expiry may have been the min
 		}
 		return false
 	}
+	t.noteExpiry(m.Expiry)
 	r := &RelayEntry{MNS: m}
 	t.relays = append(t.relays, r)
 	t.relayBy[m.Key()] = r
@@ -273,6 +370,7 @@ func (t *MarkTable) RemoveRelay(key string) bool {
 	if !ok {
 		return false
 	}
+	t.expiryDirty = true
 	delete(t.relayBy, key)
 	t.acct.Free(r.MNS.SizeBytes())
 	for i, x := range t.relays {

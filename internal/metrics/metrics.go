@@ -44,6 +44,12 @@ type Counters struct {
 	SuppressedPairs uint64
 	// QueueOps counts inter-operator queue pushes.
 	QueueOps uint64
+	// Sweeps counts operator expiry sweeps fired by the engine. Not part of
+	// CostUnits (the work a sweep performs is already charged through
+	// Purged/Resumed/...); it measures scheduling overhead — the deadline
+	// heap exists to drive this toward the number of sweeps that actually
+	// have work to do (DESIGN.md §4).
+	Sweeps uint64
 }
 
 // Add accumulates o into c.
@@ -63,6 +69,7 @@ func (c *Counters) Add(o *Counters) {
 	c.CatchUpJoins += o.CatchUpJoins
 	c.SuppressedPairs += o.SuppressedPairs
 	c.QueueOps += o.QueueOps
+	c.Sweeps += o.Sweeps
 }
 
 // CostUnits collapses the counters into a single deterministic work figure.
@@ -89,9 +96,9 @@ func (c *Counters) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "probes=%d cmp=%d results=%d final=%d ins=%d purge=%d\n",
 		c.Probes, c.Comparisons, c.Results, c.FinalResults, c.Inserted, c.Purged)
-	fmt.Fprintf(&b, "lattice=%d bloom=%d mns=%d fb=%d susp=%d res=%d catchup=%d suppressed=%d cost=%d",
+	fmt.Fprintf(&b, "lattice=%d bloom=%d mns=%d fb=%d susp=%d res=%d catchup=%d suppressed=%d sweeps=%d cost=%d",
 		c.LatticeNodes, c.BloomChecks, c.MNSDetected, c.Feedbacks, c.Suspended,
-		c.Resumed, c.CatchUpJoins, c.SuppressedPairs, c.CostUnits())
+		c.Resumed, c.CatchUpJoins, c.SuppressedPairs, c.Sweeps, c.CostUnits())
 	return b.String()
 }
 

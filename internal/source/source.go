@@ -43,43 +43,103 @@ func UniformConfig(n int, rate float64, dmax int64, horizon stream.Time, seed in
 	return Config{Horizon: horizon, Seed: seed, Specs: specs}
 }
 
+// gen lazily produces one source's Poisson arrival sequence. Its draws from
+// the per-source RNG happen in exactly the order Generate historically made
+// them (gap, then column values), so lazy and materialized generation yield
+// byte-identical tuples.
+type gen struct {
+	id      stream.SourceID
+	spec    SourceSpec
+	schema  *stream.Schema
+	rng     *rand.Rand
+	t       stream.Time
+	horizon stream.Time
+}
+
+func newGen(cat *stream.Catalog, cfg Config, id stream.SourceID) *gen {
+	return &gen{
+		id:      id,
+		spec:    cfg.Specs[id],
+		schema:  cat.Source(id),
+		rng:     rand.New(rand.NewSource(cfg.Seed + int64(id)*7919)),
+		horizon: cfg.Horizon,
+	}
+}
+
+// next returns the source's next arrival, or nil once the horizon is hit.
+// Tuple IDs are left unassigned; the merging caller assigns them in global
+// delivery order.
+func (g *gen) next() *stream.Tuple {
+	// Exponential inter-arrival: -ln(U)/λ seconds.
+	u := g.rng.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	gap := stream.Time(-math.Log(u) / g.spec.Rate * float64(stream.Second))
+	if gap < 1 {
+		gap = 1
+	}
+	g.t += gap
+	if g.t >= g.horizon {
+		return nil
+	}
+	vals := make([]stream.Value, g.schema.NumCols())
+	for c := range vals {
+		d := g.spec.DMax
+		if o, ok := g.spec.DMaxByCol[c]; ok {
+			d = o
+		}
+		vals[c] = stream.Value(g.rng.Int63n(d) + 1)
+	}
+	return &stream.Tuple{Source: g.id, TS: g.t, Vals: vals}
+}
+
+// Stream returns a pull-based iterator over the workload: each call yields
+// the next arrival in (timestamp, source id) order, with IDs assigned in
+// delivery order, until the horizon exhausts every source. It produces
+// exactly the sequence Generate materializes (see TestStreamMatchesGenerate)
+// while keeping only one pending tuple per source in memory — the engine's
+// RunStream ingests it directly, so a run's footprint is O(operator state),
+// not O(arrivals).
+func Stream(cat *stream.Catalog, cfg Config) func() (*stream.Tuple, bool) {
+	n := cat.NumSources()
+	gens := make([]*gen, n)
+	heads := make([]*stream.Tuple, n)
+	for id := 0; id < n; id++ {
+		gens[id] = newGen(cat, cfg, stream.SourceID(id))
+		heads[id] = gens[id].next()
+	}
+	var nextID uint64
+	return func() (*stream.Tuple, bool) {
+		best := -1
+		for i, h := range heads {
+			// Strict < keeps the lowest source id on timestamp ties —
+			// the same total order Generate's stable sort produces.
+			if h != nil && (best < 0 || h.TS < heads[best].TS) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return nil, false
+		}
+		t := heads[best]
+		heads[best] = gens[best].next()
+		nextID++
+		t.ID = nextID
+		return t, true
+	}
+}
+
 // Generate produces the merged, timestamp-ordered arrival sequence for the
 // catalog. Ties are broken by source id then arrival index, making the
-// order total and deterministic.
+// order total and deterministic. Stream is the lazy form of the same
+// sequence.
 func Generate(cat *stream.Catalog, cfg Config) []*stream.Tuple {
 	var all []*stream.Tuple
 	for id := 0; id < cat.NumSources(); id++ {
-		spec := cfg.Specs[id]
-		rng := rand.New(rand.NewSource(cfg.Seed + int64(id)*7919))
-		schema := cat.Source(stream.SourceID(id))
-		t := stream.Time(0)
-		for {
-			// Exponential inter-arrival: -ln(U)/λ seconds.
-			u := rng.Float64()
-			if u <= 0 {
-				u = math.SmallestNonzeroFloat64
-			}
-			gap := stream.Time(-math.Log(u) / spec.Rate * float64(stream.Second))
-			if gap < 1 {
-				gap = 1
-			}
-			t += gap
-			if t >= cfg.Horizon {
-				break
-			}
-			vals := make([]stream.Value, schema.NumCols())
-			for c := range vals {
-				d := spec.DMax
-				if o, ok := spec.DMaxByCol[c]; ok {
-					d = o
-				}
-				vals[c] = stream.Value(rng.Int63n(d) + 1)
-			}
-			all = append(all, &stream.Tuple{
-				Source: stream.SourceID(id),
-				TS:     t,
-				Vals:   vals,
-			})
+		g := newGen(cat, cfg, stream.SourceID(id))
+		for t := g.next(); t != nil; t = g.next() {
+			all = append(all, t)
 		}
 	}
 	sort.SliceStable(all, func(i, j int) bool {

@@ -90,3 +90,45 @@ func TestBurstAndMerge(t *testing.T) {
 		t.Fatal("merge ids wrong")
 	}
 }
+
+func TestStreamMatchesGenerate(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		cfg  func(cat *stream.Catalog) Config
+	}{
+		{"uniform", 4, func(*stream.Catalog) Config {
+			return UniformConfig(4, 8, 100, 3*stream.Minute, 1)
+		}},
+		{"overrides", 3, func(*stream.Catalog) Config {
+			cfg := UniformConfig(3, 0.5, 10, 10*stream.Minute, 42)
+			cfg.Specs[2].DMaxByCol = map[int]int64{0: 500}
+			return cfg
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cat, _ := predicate.Clique(tc.n)
+			cfg := tc.cfg(cat)
+			all := Generate(cat, cfg)
+			next := Stream(cat, cfg)
+			for i, want := range all {
+				got, ok := next()
+				if !ok {
+					t.Fatalf("stream ended at %d, want %d tuples", i, len(all))
+				}
+				if got.ID != want.ID || got.Source != want.Source || got.TS != want.TS {
+					t.Fatalf("tuple %d: stream %+v vs generate %+v", i, got, want)
+				}
+				for c := range want.Vals {
+					if got.Vals[c] != want.Vals[c] {
+						t.Fatalf("tuple %d col %d: %v vs %v", i, c, got.Vals[c], want.Vals[c])
+					}
+				}
+			}
+			if _, ok := next(); ok {
+				t.Fatal("stream yields more tuples than Generate")
+			}
+		})
+	}
+}

@@ -99,6 +99,13 @@ type State struct {
 	key     Key
 	buckets map[uint64][]Entry
 	loose   []Entry // entries whose composite lacks a key component
+	// Min-expiry tracking (DESIGN.md §4): minTS caches the smallest MinTS
+	// among live entries so the engine's deadline scheduler can ask "when
+	// does the next tuple expire" in O(1). The cache is maintained exactly on
+	// insertion and recomputed lazily (minDirty) after removals, which only
+	// ever raise the true minimum — a stale cache is a safe lower bound.
+	minTS    stream.Time
+	minDirty bool
 }
 
 // New creates a state drawing sequence numbers from side and charging
@@ -143,10 +150,57 @@ func (s *State) Empty() bool { return len(s.entries) == 0 }
 func (s *State) Insert(c *stream.Composite) Entry {
 	e := Entry{C: c, Seq: s.side.Next()}
 	s.version++
+	s.noteInsert(e)
 	s.entries = append(s.entries, e)
 	s.indexInsert(e)
 	s.acct.Alloc(c.DeepSizeBytes())
 	return e
+}
+
+// InvalidateMinCache forces the next MinTS read to recompute exactly (see
+// feedback.Blacklist.InvalidateMinCaches for the shared-descriptor rationale
+// behind deadline-cache flushing).
+func (s *State) InvalidateMinCache() { s.minDirty = len(s.entries) > 0 }
+
+// MinTS returns the smallest MinTS among live entries; ok is false when the
+// state is empty. The earliest window-expiry deadline of the state is
+// MinTS() + window (see JoinOp.NextDeadline, DESIGN.md §4).
+func (s *State) MinTS() (stream.Time, bool) {
+	if len(s.entries) == 0 {
+		return 0, false
+	}
+	if s.minDirty {
+		s.recomputeMin()
+	}
+	return s.minTS, true
+}
+
+// noteInsert folds a new entry into the min cache.
+func (s *State) noteInsert(e Entry) {
+	if len(s.entries) == 0 {
+		s.minTS, s.minDirty = e.C.MinTS, false
+		return
+	}
+	if !s.minDirty && e.C.MinTS < s.minTS {
+		s.minTS = e.C.MinTS
+	}
+}
+
+// noteRemove invalidates the min cache when the removed entry could be the
+// minimum.
+func (s *State) noteRemove(e Entry) {
+	if !s.minDirty && e.C.MinTS <= s.minTS {
+		s.minDirty = true
+	}
+}
+
+func (s *State) recomputeMin() {
+	s.minDirty = false
+	for i, e := range s.entries {
+		if i == 0 || e.C.MinTS < s.minTS {
+			s.minTS = e.C.MinTS
+		}
+	}
 }
 
 // Reinsert places an entry with a pre-drawn sequence number into the state,
@@ -155,6 +209,7 @@ func (s *State) Insert(c *stream.Composite) Entry {
 // of a blacklist (which keep their original sequence for life).
 func (s *State) Reinsert(e Entry) {
 	s.version++
+	s.noteInsert(e)
 	s.acct.Alloc(e.C.DeepSizeBytes())
 	s.entries = insertBySeq(s.entries, e)
 	s.indexInsert(e)
@@ -262,12 +317,16 @@ func (s *State) ProbeNext(h uint64, after uint64) (Entry, bool) {
 func (s *State) Purge(now, window stream.Time) int {
 	kept := s.entries[:0]
 	purged := 0
+	s.minDirty = false
 	for _, e := range s.entries {
 		if e.C.MinTS+window <= now {
 			s.acct.Free(e.C.DeepSizeBytes())
 			s.indexRemove(e)
 			purged++
 			continue
+		}
+		if len(kept) == 0 || e.C.MinTS < s.minTS {
+			s.minTS = e.C.MinTS
 		}
 		kept = append(kept, e)
 	}
@@ -289,6 +348,7 @@ func (s *State) Remove(c *stream.Composite) (Entry, bool) {
 	for i, e := range s.entries {
 		if e.C == c {
 			s.version++
+			s.noteRemove(e)
 			s.acct.Free(c.DeepSizeBytes())
 			s.indexRemove(e)
 			copy(s.entries[i:], s.entries[i+1:])
@@ -305,12 +365,16 @@ func (s *State) Remove(c *stream.Composite) (Entry, bool) {
 func (s *State) RemoveIf(pred func(*stream.Composite) bool) []Entry {
 	var removed []Entry
 	kept := s.entries[:0]
+	s.minDirty = false
 	for _, e := range s.entries {
 		if pred(e.C) {
 			removed = append(removed, e)
 			s.acct.Free(e.C.DeepSizeBytes())
 			s.indexRemove(e)
 			continue
+		}
+		if len(kept) == 0 || e.C.MinTS < s.minTS {
+			s.minTS = e.C.MinTS
 		}
 		kept = append(kept, e)
 	}
