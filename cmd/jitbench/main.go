@@ -12,6 +12,10 @@
 // instead of the paper's linear scans; under indexing REF's probe cost
 // collapses to the matching pairs, so expect the JIT/REF cost ratios to
 // invert relative to the paper's figures.
+// -shards runs every point across key-partitioned engine replicas
+// (DESIGN.md §5); broadcast sources are then ingested once per shard, so
+// the work counters include that duplication and sharded sweeps measure
+// scaling rather than the paper's overhead shape.
 package main
 
 import (
@@ -30,9 +34,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	ablation := flag.Bool("ablation", false, "include DOE and Bloom-JIT modes")
 	indexed := flag.Bool("indexed", false, "hash-indexed join states instead of the paper's linear scans")
+	shards := flag.Int("shards", 1, "run every point across key-partitioned engine replicas (scaling mode, not paper-comparable; DESIGN.md §5)")
 	flag.Parse()
 
-	cfg := exp.Config{Scale: *scale, SizeScale: *size, Seed: *seed, Indexed: *indexed, Modes: exp.DefaultModes()}
+	cfg := exp.Config{Scale: *scale, SizeScale: *size, Seed: *seed, Indexed: *indexed, Shards: *shards, Modes: exp.DefaultModes()}
 	if *ablation {
 		cfg.Modes = exp.AblationModes()
 	}

@@ -23,8 +23,10 @@ func main() {
 	minutes := flag.Float64("minutes", 15, "horizon in minutes")
 	seed := flag.Int64("seed", 1, "random seed")
 	mode := flag.String("mode", "jit", "execution mode: jit, ref, doe, bloom")
+	indexed := flag.Bool("indexed", false, "hash-indexed join states instead of the paper's linear scans (DESIGN.md §3)")
 	drain := flag.Bool("drain", false, "after the last arrival, keep firing timer deadlines so suspended results still resume or expire (end-of-stream drain, DESIGN.md §4)")
 	drainHorizon := flag.Float64("drain-horizon", 0, "cap the drain at this application time in minutes (0 = last arrival + window)")
+	shards := flag.Int("shards", 1, "run across this many key-partitioned engine replicas (forces drain; DESIGN.md §5)")
 	flag.Parse()
 
 	var m core.Mode
@@ -51,10 +53,31 @@ func main() {
 		Horizon: stream.Time(*minutes * float64(stream.Minute)),
 		Seed:    *seed,
 		Mode:    m,
+		Indexed: *indexed,
 		Drain:   *drain,
 	}
 	if *drainHorizon > 0 {
 		p.DrainHorizon = stream.Time(*drainHorizon * float64(stream.Minute))
+	}
+	if *shards > 1 {
+		p.Shards = *shards
+		s := p.RunSharded()
+		r := s.Merged
+		fmt.Printf("mode=%s plan=%s N=%d w=%v λ=%.2f dmax=%d horizon=%v shards=%d\n",
+			*mode, planName(*bushy), *n, p.Window, *rate, *dmax, p.Horizon, len(s.Shards))
+		if s.Fallback {
+			fmt.Println("no plan-wide partition key — fell back to a single replica")
+		} else {
+			fmt.Printf("key=%v routed=%d broadcast=%d\n", s.Key, s.Routed, s.Broadcasts)
+		}
+		fmt.Printf("ingests=%d results=%d cost=%d wall=%v peakMem=%.1fKB (summed over shards)\n",
+			r.Arrivals, r.Results, r.CostUnits, r.WallTime, r.PeakMemKB)
+		for i, sr := range s.Shards {
+			fmt.Printf("  shard %d: ingests=%d results=%d cost=%d peakMem=%.1fKB\n",
+				i, sr.Arrivals, sr.Results, sr.CostUnits, sr.PeakMemKB)
+		}
+		fmt.Println(r.Counters.String())
+		return
 	}
 	r := p.Run()
 	fmt.Printf("mode=%s plan=%s N=%d w=%v λ=%.2f dmax=%d horizon=%v drain=%v\n",

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/core"
@@ -10,15 +11,15 @@ import (
 	"repro/internal/stream"
 )
 
-// roadmapWorkload is the dense end-of-stream workload from the ROADMAP open
-// item: N=4, λ=8, dmax=100, w=2min, h=3min, seed 1. The horizon sits close
-// enough to the window that suspended results routinely have resumption
-// triggers or anchor expiries past the last arrival — without the drain
-// phase JIT delivers fewer finals than REF.
-func roadmapWorkload(t *testing.T) (*stream.Catalog, predicate.Conj, []*stream.Tuple) {
+// roadmapWorkload is the dense end-of-stream workload family from the
+// ROADMAP open item: N=4, λ=8, dmax=100, w=2min, h=3min. The horizon sits
+// close enough to the window that suspended results routinely have
+// resumption triggers or anchor expiries past the last arrival — without
+// the drain phase JIT delivers fewer finals than REF.
+func roadmapWorkload(t *testing.T, seed int64) (*stream.Catalog, predicate.Conj, []*stream.Tuple) {
 	t.Helper()
 	cat, conj := predicate.Clique(4)
-	arrivals := source.Generate(cat, source.UniformConfig(4, 8, 100, 3*stream.Minute, 1))
+	arrivals := source.Generate(cat, source.UniformConfig(4, 8, 100, 3*stream.Minute, seed))
 	return cat, conj, arrivals
 }
 
@@ -31,16 +32,29 @@ func runDrained(t *testing.T, cat *stream.Catalog, conj predicate.Conj, arrivals
 	return r, b.Sink.ResultKeys()
 }
 
-// TestEndOfStreamDrain asserts the drain-at-horizon invariant on the exact
-// ROADMAP workload: with Options.Drain every mode delivers the same finals
-// as REF, in the same sink order, on both plan shapes.
+// TestEndOfStreamDrain asserts the drain-at-horizon invariant across a
+// seed × topology sweep of the ROADMAP workload family, so the invariant
+// isn't pinned to one lucky stream: with Options.Drain every mode
+// delivers exactly REF's final-result multiset. Exact sink-order equality
+// is asserted only on the canonical seed-1 bushy point (the historical
+// ROADMAP regression): drain-phase recoveries fire in deadline order —
+// the recovering tuple's window close — not result-timestamp order, so
+// two drain-recovered results can legitimately swap relative to REF's
+// live order (the documented late-recovery timestamp inversions, DESIGN.md
+// §2; seed 3 bushy hits one). The full sweep (three seeds, both plan
+// shapes) runs in the non-short suite; -short keeps the canonical point.
 func TestEndOfStreamDrain(t *testing.T) {
-	cat, conj, arrivals := roadmapWorkload(t)
+	seeds := []int64{1, 2, 3}
 	shapes := []struct {
 		name string
 		node *plan.Node
 	}{
 		{"bushy", plan.Bushy(4)},
+		{"leftdeep", plan.LeftDeep(4)},
+	}
+	if testing.Short() {
+		seeds = seeds[:1]
+		shapes = shapes[:1]
 	}
 	modes := []struct {
 		name string
@@ -50,31 +64,54 @@ func TestEndOfStreamDrain(t *testing.T) {
 		{"DOE", core.DOE()},
 		{"Bloom", core.BloomJIT()},
 	}
-	for _, sh := range shapes {
-		ref, refKeys := runDrained(t, cat, conj, arrivals, sh.node, core.REF())
-		if ref.Counters.FinalResults == 0 {
-			t.Fatalf("%s: degenerate workload, REF delivered nothing", sh.name)
-		}
-		for _, m := range modes {
-			r, keys := runDrained(t, cat, conj, arrivals, sh.node, m.mode)
-			if r.Counters.FinalResults != ref.Counters.FinalResults {
-				t.Errorf("%s %s: %d finals vs REF %d", sh.name, m.name,
-					r.Counters.FinalResults, ref.Counters.FinalResults)
-			}
-			if r.OrderViolations != 0 {
-				t.Errorf("%s %s: %d order violations", sh.name, m.name, r.OrderViolations)
-			}
-			if len(keys) != len(refKeys) {
-				t.Errorf("%s %s: sink kept %d results vs REF %d", sh.name, m.name, len(keys), len(refKeys))
-				continue
-			}
-			for i := range keys {
-				if keys[i] != refKeys[i] {
-					t.Errorf("%s %s: sink order diverges at %d: %s vs REF %s",
-						sh.name, m.name, i, keys[i], refKeys[i])
-					break
+	for _, seed := range seeds {
+		cat, conj, arrivals := roadmapWorkload(t, seed)
+		for si, sh := range shapes {
+			canonical := seed == 1 && si == 0
+			t.Run(fmt.Sprintf("seed=%d/%s", seed, sh.name), func(t *testing.T) {
+				ref, refKeys := runDrained(t, cat, conj, arrivals, sh.node, core.REF())
+				if ref.Counters.FinalResults == 0 {
+					t.Fatalf("degenerate workload, REF delivered nothing")
 				}
-			}
+				for _, m := range modes {
+					r, keys := runDrained(t, cat, conj, arrivals, sh.node, m.mode)
+					if r.Counters.FinalResults != ref.Counters.FinalResults {
+						t.Errorf("%s: %d finals vs REF %d", m.name,
+							r.Counters.FinalResults, ref.Counters.FinalResults)
+					}
+					if len(keys) != len(refKeys) {
+						t.Errorf("%s: sink kept %d results vs REF %d", m.name, len(keys), len(refKeys))
+						continue
+					}
+					if !canonical {
+						// Multiset equality only: order may differ by the
+						// documented late-recovery inversions.
+						want := make(map[string]int, len(refKeys))
+						for _, k := range refKeys {
+							want[k]++
+						}
+						for _, k := range keys {
+							want[k]--
+						}
+						for k, n := range want {
+							if n != 0 {
+								t.Errorf("%s: result %s off by %+d vs REF", m.name, k, -n)
+							}
+						}
+						continue
+					}
+					if r.OrderViolations != 0 {
+						t.Errorf("%s: %d order violations", m.name, r.OrderViolations)
+					}
+					for i := range keys {
+						if keys[i] != refKeys[i] {
+							t.Errorf("%s: sink order diverges at %d: %s vs REF %s",
+								m.name, i, keys[i], refKeys[i])
+							break
+						}
+					}
+				}
+			})
 		}
 	}
 }
@@ -84,7 +121,7 @@ func TestEndOfStreamDrain(t *testing.T) {
 // REF. If this ever starts passing without the drain, the workload no
 // longer exercises the end-of-stream case and should be retuned.
 func TestDrainlessRunDropsFinals(t *testing.T) {
-	cat, conj, arrivals := roadmapWorkload(t)
+	cat, conj, arrivals := roadmapWorkload(t, 1)
 	build := func(mode core.Mode) *plan.Built {
 		return plan.BuildTree(cat, conj, plan.Bushy(4), plan.Options{
 			Window: 2 * stream.Minute, Mode: mode,

@@ -119,6 +119,20 @@ func (e *Engine) Run(arrivals []*stream.Tuple) Result {
 	})
 }
 
+// ChanSource adapts a channel of tuples to the pull iterator RunStream
+// consumes — the per-replica entry point of sharded execution
+// (internal/shard, DESIGN.md §5): a dispatcher routes the global stream
+// into per-shard channels and each shard's engine goroutine pulls from its
+// own. End-of-stream is the channel closing; the engine then drains as
+// usual. Tuples arriving through a channel must still be in non-decreasing
+// timestamp order, which a single dispatcher preserves per construction.
+func ChanSource(ch <-chan *stream.Tuple) func() (*stream.Tuple, bool) {
+	return func() (*stream.Tuple, bool) {
+		t, ok := <-ch
+		return t, ok
+	}
+}
+
 // RunStream pulls tuples from next until it reports false, interleaving
 // arrival processing with deadline-driven expiry sweeps, then (with
 // Options.Drain) drains the remaining timer deadlines to the horizon. The

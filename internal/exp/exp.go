@@ -29,6 +29,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/plan"
 	"repro/internal/predicate"
+	"repro/internal/shard"
 	"repro/internal/source"
 	"repro/internal/stream"
 )
@@ -65,6 +66,13 @@ type Params struct {
 	// DrainHorizon caps the drain when non-zero; zero drains to the natural
 	// horizon (last arrival + window).
 	DrainHorizon stream.Time
+	// Shards, when above 1, runs the plan across key-partitioned engine
+	// replicas (internal/shard, DESIGN.md §5) instead of one engine. The
+	// merged result is returned; note that broadcast sources are ingested
+	// once per shard, so Arrivals and the work counters include that
+	// duplication. Drain is forced on — per-shard exact delivery is what
+	// makes the shard union equal the single-engine multiset.
+	Shards int
 }
 
 // Run executes the configuration and returns the measured results. The
@@ -72,8 +80,37 @@ type Params struct {
 // engine.RunStream, so memory stays proportional to operator state rather
 // than the arrival count. Note WallTime therefore includes tuple
 // generation, which the historical materialize-then-run harness excluded;
-// CostUnits — the paper's comparison metric — is unaffected.
+// CostUnits — the paper's comparison metric — is unaffected. With Shards
+// above 1 the run goes through the sharded runner and the merged result is
+// returned (see RunSharded).
 func (p Params) Run() engine.Result {
+	if p.Shards > 1 {
+		return p.RunSharded().Merged
+	}
+	cat, cfg, b := p.build()
+	eng := engine.NewWithOptions(b, engine.Options{
+		Drain: p.Drain, Horizon: p.DrainHorizon,
+	})
+	return eng.RunStream(source.Stream(cat, cfg))
+}
+
+// RunSharded executes the configuration across Shards key-partitioned
+// engine replicas (internal/shard, DESIGN.md §5) and returns the full
+// sharded result — merged totals plus per-shard breakdown and routing
+// counts. Drain is forced on: each shard sees only a key-slice of the
+// stream, and per-shard exact delivery is what makes the union over
+// shards equal the single-engine result multiset.
+func (p Params) RunSharded() shard.Result {
+	cat, cfg, b := p.build()
+	runner := shard.New(b, shard.Options{
+		Shards: p.Shards,
+		Engine: engine.Options{Drain: true, Horizon: p.DrainHorizon},
+	})
+	return runner.RunStream(source.Stream(cat, cfg))
+}
+
+// build constructs the workload config and plan for the configuration.
+func (p Params) build() (*stream.Catalog, source.Config, *plan.Built) {
 	cat, conj := predicate.Clique(p.N)
 	cfg := source.UniformConfig(p.N, p.Rate, p.DMax, p.Horizon, p.Seed)
 	if p.LastStreamFactor > 0 {
@@ -94,10 +131,7 @@ func (p Params) Run() engine.Result {
 	b := plan.BuildTree(cat, conj, shape, plan.Options{
 		Window: p.Window, Mode: p.Mode, NoStateIndex: !p.Indexed,
 	})
-	eng := engine.NewWithOptions(b, engine.Options{
-		Drain: p.Drain, Horizon: p.DrainHorizon,
-	})
-	return eng.RunStream(source.Stream(cat, cfg))
+	return cat, cfg, b
 }
 
 // NamedMode pairs a label with an operator mode.
@@ -140,6 +174,11 @@ type Config struct {
 	// Indexed runs every point with hash-indexed join states instead of
 	// the paper's linear scans (see Params.Indexed).
 	Indexed bool
+	// Shards runs every point across key-partitioned engine replicas when
+	// above 1 (see Params.Shards). Broadcast duplication then inflates the
+	// work counters relative to the single-engine figures, so sharded
+	// sweeps measure scaling, not the paper's JIT-vs-REF overhead shape.
+	Shards int
 }
 
 // DefaultConfig runs JIT vs REF at one-tenth horizon scale, seed 1.
@@ -217,6 +256,7 @@ func runSweep(cfg Config, id, title, xlabel string, xs []float64, mk func(x floa
 			p.Mode = nm.Mode
 			p.Seed = cfg.Seed
 			p.Indexed = cfg.Indexed
+			p.Shards = cfg.Shards
 			p.Window = cfg.sizeW(p.Window)
 			p.DMax = cfg.sizeD(p.DMax)
 			if p.Horizon == 0 {

@@ -1,6 +1,9 @@
 package metrics
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 func TestAccountPeak(t *testing.T) {
 	var a Account
@@ -32,6 +35,33 @@ func TestAccountNegativePanics(t *testing.T) {
 	var a Account
 	a.Alloc(10)
 	a.Free(11)
+}
+
+// TestCountersAddCoversEveryField walks the Counters struct by reflection
+// and asserts Add accumulates every field, so a counter added in the
+// future can't be silently dropped from shard merging (internal/shard sums
+// per-replica counters through Add).
+func TestCountersAddCoversEveryField(t *testing.T) {
+	var src, dst Counters
+	sv := reflect.ValueOf(&src).Elem()
+	for i := 0; i < sv.NumField(); i++ {
+		f := sv.Field(i)
+		if f.Kind() != reflect.Uint64 {
+			t.Fatalf("field %s is %s; Add and this test assume uint64 counters",
+				sv.Type().Field(i).Name, f.Kind())
+		}
+		// Distinct per-field values so a swapped assignment can't cancel out.
+		f.SetUint(uint64(i + 1))
+	}
+	dst.Add(&src)
+	dst.Add(&src)
+	dv := reflect.ValueOf(&dst).Elem()
+	for i := 0; i < dv.NumField(); i++ {
+		if got, want := dv.Field(i).Uint(), uint64(2*(i+1)); got != want {
+			t.Errorf("Add dropped or miscounted field %s: got %d, want %d",
+				dv.Type().Field(i).Name, got, want)
+		}
+	}
 }
 
 func TestCountersAddAndCost(t *testing.T) {

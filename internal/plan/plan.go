@@ -115,6 +115,13 @@ type Built struct {
 	Account  *metrics.Account
 
 	nextMNS uint64
+
+	// The build spec is retained so the plan can be replicated for sharded
+	// execution (internal/shard): preds/shape/opt plus the shared Catalog
+	// reconstruct an identical, fully independent operator tree.
+	preds predicate.Conj
+	shape *Node
+	opt   Options
 }
 
 // Options configures plan construction.
@@ -139,6 +146,9 @@ func BuildTree(cat *stream.Catalog, preds predicate.Conj, shape *Node, opt Optio
 		Feeds:    make(map[stream.SourceID]Feed),
 		Counters: &metrics.Counters{},
 		Account:  &metrics.Account{},
+		preds:    preds,
+		shape:    shape,
+		opt:      opt,
 	}
 	b.Sink = operator.NewSink("sink", b.Counters, opt.KeepResults)
 	root := b.wire(cat, preds, shape, opt)
@@ -149,6 +159,24 @@ func BuildTree(cat *stream.Catalog, preds predicate.Conj, shape *Node, opt Optio
 	rootJoin.SetConsumer(b.Sink, operator.Left)
 	b.Root = rootJoin
 	return b
+}
+
+// Shape returns the plan's shape tree. Together with Preds it lets the
+// shard partitioner re-derive each operator's equi-key columns
+// (predicate.Conj.EquiKeyCols) and intersect them up the tree into a
+// plan-wide partition key (DESIGN.md §5).
+func (b *Built) Shape() *Node { return b.shape }
+
+// Preds returns the query conjunction the plan was built from.
+func (b *Built) Preds() predicate.Conj { return b.preds }
+
+// Replicate builds a fresh plan identical to b — same catalog, predicates,
+// shape and options, but new operators, counters, account and sink, sharing
+// no mutable state with b. A replica is the unit of scale-out in
+// internal/shard: each engine goroutine drives its own replica, so no
+// operator-level locking is ever needed.
+func (b *Built) Replicate() *Built {
+	return BuildTree(b.Catalog, b.preds, b.shape, b.opt)
 }
 
 // NextMNS hands out plan-unique MNS / mark identifiers.

@@ -131,6 +131,72 @@ func (c Conj) EquiKeyCols(left, right stream.SourceSet) (lk, rk []Attr, ok bool)
 	return lk, rk, len(lk) > 0
 }
 
+// EquiClosure returns the equivalence classes of column attributes under
+// the transitive closure of the conjunction: two attributes share a class
+// when a chain of equi-predicates equates them, so in any composite
+// satisfying the whole conjunction every attribute of a class holds the
+// same value. This is the soundness basis of key-partitioned sharding
+// (DESIGN.md §5): hash-routing each source by its attribute of one class
+// sends all components of any final result to the same shard. Classes are
+// sorted internally and between each other by (Source, Col), so the result
+// is deterministic; classes with a single attribute (columns no predicate
+// touches) are omitted.
+func (c Conj) EquiClosure() [][]Attr {
+	parent := make(map[Attr]Attr)
+	var find func(a Attr) Attr
+	find = func(a Attr) Attr {
+		p, ok := parent[a]
+		if !ok || p == a {
+			return a
+		}
+		r := find(p)
+		parent[a] = r
+		return r
+	}
+	union := func(a, b Attr) {
+		if _, ok := parent[a]; !ok {
+			parent[a] = a
+		}
+		if _, ok := parent[b]; !ok {
+			parent[b] = b
+		}
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, e := range c {
+		union(Attr{Source: e.Left, Col: e.LCol}, Attr{Source: e.Right, Col: e.RCol})
+	}
+	groups := make(map[Attr][]Attr)
+	for a := range parent {
+		r := find(a)
+		groups[r] = append(groups[r], a)
+	}
+	var out [][]Attr
+	for _, g := range groups {
+		if len(g) < 2 {
+			continue
+		}
+		sortAttrs(g)
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return attrLess(out[i][0], out[j][0]) })
+	return out
+}
+
+// sortAttrs orders attributes by (Source, Col).
+func sortAttrs(as []Attr) {
+	sort.Slice(as, func(i, j int) bool { return attrLess(as[i], as[j]) })
+}
+
+func attrLess(a, b Attr) bool {
+	if a.Source != b.Source {
+		return a.Source < b.Source
+	}
+	return a.Col < b.Col
+}
+
 // EvalPair evaluates every predicate linking composites a and b. Predicates
 // with both endpoints inside a (or inside b) are assumed already checked
 // upstream and skipped; n reports how many predicates were actually
@@ -296,6 +362,27 @@ func Clique(n int) (cat *stream.Catalog, conj Conj) {
 				RCol:  colFor(j, i),
 			})
 		}
+	}
+	return cat, conj
+}
+
+// Chain builds the fully partitionable counterpart of Clique: N
+// single-column sources joined pairwise on the shared column
+// (A.x = B.x ∧ B.x = C.x ∧ ...). The transitive closure of the conjunction
+// is a single class covering every source, so sharded execution
+// (internal/shard) routes all N streams by that column and no source needs
+// broadcasting — the best case of the DESIGN.md §5 scaling analysis, as
+// Clique (pairwise-distinct columns, two-source classes) is the worst.
+func Chain(n int) (cat *stream.Catalog, conj Conj) {
+	if n < 2 {
+		panic("predicate: chain needs >= 2 sources")
+	}
+	cat = stream.NewCatalog()
+	for i := 0; i < n; i++ {
+		cat.MustAdd(stream.NewSchema(string(rune('A'+i)), "x"))
+	}
+	for i := 0; i+1 < n; i++ {
+		conj = append(conj, Eq{Left: stream.SourceID(i), Right: stream.SourceID(i + 1)})
 	}
 	return cat, conj
 }

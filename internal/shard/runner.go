@@ -1,0 +1,222 @@
+package shard
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/plan"
+	"repro/internal/stream"
+)
+
+// Options configures a sharded run.
+type Options struct {
+	// Shards is the requested replica count. Values below 2 — or a plan
+	// with no partition key — collapse to a single replica.
+	Shards int
+	// Engine is applied to every replica. Drain should normally be on: each
+	// shard sees only a key-slice of the stream, and the drain is what
+	// guarantees the slice delivers its REF-equal finals (DESIGN.md §4), so
+	// the union over shards equals the single-engine multiset (§5).
+	Engine engine.Options
+	// BufferSize is the per-shard dispatch channel depth; zero means 256.
+	BufferSize int
+}
+
+// Result is the outcome of a sharded run.
+type Result struct {
+	// Merged aggregates the per-shard results: counters via
+	// metrics.Counters.Add, result/arrival counts summed (a broadcast
+	// arrival is ingested once per shard and counted as such), PeakMemKB
+	// the sum of per-shard peaks (the fleet's total footprint), WallTime
+	// the whole run's wall clock — dispatch start to last shard drained.
+	Merged engine.Result
+	// Shards holds each replica's own result, indexed by shard.
+	Shards []engine.Result
+	// Key is the partition key; Fallback reports that no plan-wide key
+	// existed and the run collapsed to one replica.
+	Key      Key
+	Fallback bool
+	// Routed counts arrivals sent to exactly one shard; Broadcasts counts
+	// arrivals replicated to every shard. Routed+Broadcasts is the global
+	// arrival count.
+	Routed     uint64
+	Broadcasts uint64
+	// Deliveries is the deterministic merge of the per-shard sink streams
+	// (nil unless the plan was built with Options.KeepResults).
+	Deliveries []*stream.Composite
+}
+
+// ResultKeys returns the canonical keys of the merged deliveries in merge
+// order, for multiset and determinism comparison against a single engine.
+func (r *Result) ResultKeys() []string {
+	keys := make([]string, len(r.Deliveries))
+	for i, c := range r.Deliveries {
+		keys[i] = c.Key()
+	}
+	return keys
+}
+
+// Runner executes one plan across key-partitioned engine replicas.
+type Runner struct {
+	base   *plan.Built
+	opt    Options
+	key    Key
+	keyed  bool
+	shards int
+}
+
+// New creates a runner for the plan. The partition key is derived from the
+// plan's predicates and shape (DeriveKey); when none exists, or fewer than
+// two shards are requested, the runner degenerates to one replica.
+func New(b *plan.Built, opt Options) *Runner {
+	r := &Runner{base: b, opt: opt, shards: opt.Shards}
+	if r.shards < 1 {
+		r.shards = 1
+	}
+	r.key, r.keyed = DeriveKey(b.Preds(), b.Shape())
+	if !r.keyed {
+		r.shards = 1
+	}
+	return r
+}
+
+// Shards returns the effective replica count after fallback.
+func (r *Runner) Shards() int { return r.shards }
+
+// Key returns the derived partition key; ok is false on fallback.
+func (r *Runner) Key() (Key, bool) { return r.key, r.keyed }
+
+// Run adapts a materialized arrival slice to RunStream.
+func (r *Runner) Run(arrivals []*stream.Tuple) Result {
+	i := 0
+	return r.RunStream(func() (*stream.Tuple, bool) {
+		if i >= len(arrivals) {
+			return nil, false
+		}
+		t := arrivals[i]
+		i++
+		return t, true
+	})
+}
+
+// RunStream splits the stream across the replicas and merges the results.
+// The calling goroutine dispatches: it pulls tuples from next in order and
+// sends each to its key shard (or to every shard for broadcast sources),
+// while one goroutine per replica drives engine.RunStream over its
+// channel; closing the channels starts each shard's end-of-stream drain.
+// Tuples are shared by pointer across shards — they are immutable once
+// dispatched — while every replica's operators, counters and sink are its
+// own (plan.Built.Replicate), so the engines never synchronize.
+//
+// Everything about the run is deterministic for a fixed shard count: the
+// per-shard input sequence is a pure function of the stream and the key,
+// each replica is the deterministic single-threaded engine, and the merge
+// order is defined below — goroutine scheduling cannot affect any output.
+func (r *Runner) RunStream(next func() (*stream.Tuple, bool)) Result {
+	n := r.shards
+	buf := r.opt.BufferSize
+	if buf <= 0 {
+		buf = 256
+	}
+	replicas := make([]*plan.Built, n)
+	chans := make([]chan *stream.Tuple, n)
+	for i := range replicas {
+		replicas[i] = r.base.Replicate()
+		chans[i] = make(chan *stream.Tuple, buf)
+	}
+
+	start := time.Now()
+	shardRes := make([]engine.Result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			eng := engine.NewWithOptions(replicas[i], r.opt.Engine)
+			shardRes[i] = eng.RunStream(engine.ChanSource(chans[i]))
+		}(i)
+	}
+
+	res := Result{Key: r.key, Fallback: !r.keyed}
+	for {
+		t, ok := next()
+		if !ok {
+			break
+		}
+		if n == 1 {
+			res.Routed++
+			chans[0] <- t
+			continue
+		}
+		switch s := r.key.Route(t, n); s {
+		case Broadcast:
+			res.Broadcasts++
+			for _, ch := range chans {
+				ch <- t
+			}
+		default:
+			res.Routed++
+			chans[s] <- t
+		}
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	res.Shards = shardRes
+	merged := engine.Result{WallTime: wall}
+	var ctr metrics.Counters
+	logs := make([][]*stream.Composite, n)
+	for i := range shardRes {
+		sr := &shardRes[i]
+		merged.Results += sr.Results
+		merged.Arrivals += sr.Arrivals
+		merged.PeakMemKB += sr.PeakMemKB
+		merged.OrderViolations += sr.OrderViolations
+		ctr.Add(&sr.Counters)
+		logs[i] = replicas[i].Sink.Results()
+	}
+	merged.Counters = ctr
+	merged.CostUnits = ctr.CostUnits()
+	res.Merged = merged
+	res.Deliveries = mergeDeliveries(logs)
+	return res
+}
+
+// mergeDeliveries k-way merges the per-shard sink streams into one
+// deterministic order — the merge-order contract of DESIGN.md §5:
+// repeatedly deliver, among the shards' next undelivered results, the one
+// with the smallest (timestamp, shard id). Only heads are eligible, so
+// each shard's own delivery order (its seq order, including documented
+// late-recovery timestamp inversions) is preserved verbatim, and with one
+// shard the merge reproduces the single engine's sink order exactly.
+func mergeDeliveries(logs [][]*stream.Composite) []*stream.Composite {
+	total := 0
+	for _, l := range logs {
+		total += len(l)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]*stream.Composite, 0, total)
+	pos := make([]int, len(logs))
+	for len(out) < total {
+		best := -1
+		for i, l := range logs {
+			if pos[i] >= len(l) {
+				continue
+			}
+			// Strict < keeps the lowest shard id on timestamp ties.
+			if best < 0 || l[pos[i]].TS < logs[best][pos[best]].TS {
+				best = i
+			}
+		}
+		out = append(out, logs[best][pos[best]])
+		pos[best]++
+	}
+	return out
+}

@@ -40,26 +40,36 @@ type Key []predicate.Attr
 
 // FNV-1a constants (64-bit).
 const (
-	fnvOffset = 14695981039346656037
+	// FNVOffset seeds the value-hash fold (FoldValue).
+	FNVOffset = 14695981039346656037
 	fnvPrime  = 1099511628211
 )
+
+// FoldValue folds one column value into a running 64-bit FNV-1a hash;
+// seed with FNVOffset. It is the single definition of the value hash,
+// shared by the §3 state index and the §5 shard router, so a stored
+// composite and a routed tuple always hash a value identically.
+func FoldValue(h uint64, v stream.Value) uint64 {
+	u := uint64(v)
+	for i := 0; i < 64; i += 8 {
+		h ^= (u >> uint(i)) & 0xff
+		h *= fnvPrime
+	}
+	return h
+}
 
 // Hash folds the composite's values at the key columns into a 64-bit FNV-1a
 // hash. ok is false when the composite lacks one of the key sources; such
 // composites cannot be keyed and take the linear fallback paths (a stored
 // one goes to the loose list, a probing one falls back to a full scan).
 func (k Key) Hash(c *stream.Composite) (h uint64, ok bool) {
-	h = fnvOffset
+	h = FNVOffset
 	for _, a := range k {
 		t := c.Comp(a.Source)
 		if t == nil {
 			return 0, false
 		}
-		v := uint64(t.Vals[a.Col])
-		for i := 0; i < 64; i += 8 {
-			h ^= (v >> uint(i)) & 0xff
-			h *= fnvPrime
-		}
+		h = FoldValue(h, t.Vals[a.Col])
 	}
 	return h, true
 }

@@ -1,0 +1,80 @@
+// Sharded-execution scaling benchmarks (DESIGN.md §5): the same dense
+// λ=8 workload run across 1/2/4/8 key-partitioned engine replicas, in the
+// paper-faithful linear-scan state mode. Two workloads bracket the key
+// coverage spectrum:
+//
+//   - Chain: one transitive key class covers every source, nothing
+//     broadcasts — each shard holds 1/n of every state and sees 1/n of the
+//     arrivals, so total scan work falls ~n× and the run is faster even on
+//     a single core (partition pruning), before any parallel speedup.
+//   - Clique: pairwise-distinct columns key only two of four sources; the
+//     rest broadcast, replicating their states and work on every shard —
+//     the broadcast-bound worst case, which needs real cores to win.
+//
+// Results are recorded in BENCH_shard.json; TestShardedEquivalence pins
+// that every curve point delivers the identical result multiset.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/plan"
+	"repro/internal/predicate"
+	"repro/internal/shard"
+	"repro/internal/source"
+	"repro/internal/stream"
+)
+
+// benchShard runs the workload across n replicas once per iteration and
+// reports the merged totals as custom metrics.
+func benchShard(b *testing.B, cat *stream.Catalog, conj predicate.Conj, shape *plan.Node, arrivals []*stream.Tuple, n int) {
+	b.ReportAllocs()
+	var res shard.Result
+	for i := 0; i < b.N; i++ {
+		runner := shard.New(plan.BuildTree(cat, conj, shape, plan.Options{
+			Window: 2 * stream.Minute, Mode: core.JIT(), NoStateIndex: true,
+		}), shard.Options{Shards: n, Engine: engine.Options{Drain: true}})
+		res = runner.Run(arrivals)
+	}
+	b.ReportMetric(float64(res.Merged.Results), "results")
+	b.ReportMetric(float64(res.Merged.CostUnits), "cost-units")
+	b.ReportMetric(float64(res.Broadcasts), "broadcasts")
+}
+
+// denseChain is the fully partitionable dense workload: N=4 chain
+// (A.x=B.x=C.x=D.x), λ=8/s per source, dmax=100, w=2min, h=3min, seed 1.
+func denseChain() (*stream.Catalog, predicate.Conj, *plan.Node, []*stream.Tuple) {
+	cat, conj := predicate.Chain(4)
+	arrivals := source.Generate(cat, source.UniformConfig(4, 8, 100, 3*stream.Minute, 1))
+	return cat, conj, plan.LeftDeep(4), arrivals
+}
+
+// denseClique is the ROADMAP dense workload: N=4 clique, λ=8/s per source,
+// dmax=100, w=2min, h=3min, seed 1 — the same stream TestEndOfStreamDrain
+// pins, with only sources A and B routed.
+func denseClique() (*stream.Catalog, predicate.Conj, *plan.Node, []*stream.Tuple) {
+	cat, conj := predicate.Clique(4)
+	arrivals := source.Generate(cat, source.UniformConfig(4, 8, 100, 3*stream.Minute, 1))
+	return cat, conj, plan.Bushy(4), arrivals
+}
+
+func BenchmarkShardChain(b *testing.B) {
+	cat, conj, shape, arrivals := denseChain()
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			benchShard(b, cat, conj, shape, arrivals, n)
+		})
+	}
+}
+
+func BenchmarkShardClique(b *testing.B) {
+	cat, conj, shape, arrivals := denseClique()
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			benchShard(b, cat, conj, shape, arrivals, n)
+		})
+	}
+}
