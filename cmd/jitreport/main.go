@@ -1,0 +1,111 @@
+// Command jitreport regenerates the evaluation artifacts: RESULTS.md (the
+// generated results document comparing the reproduced Figures 10–17
+// against the paper's reported trends), RESULTS.json (the machine-readable
+// record) and results/figNN.svg (per-figure trend plots).
+//
+// Usage:
+//
+//	jitreport [-short] [-seed N] [-out DIR] [-check]
+//
+// -short runs the quick preset (three x-points per figure, shrunk
+// workloads, JIT/REF only) that finishes in about a minute; the committed
+// RESULTS.md is this preset's output. Without -short the full grid runs
+// with unscaled workloads and the DOE/Bloom-JIT ablation modes — the
+// nightly CI job regenerates and uploads it.
+//
+// -check regenerates in memory and diffs against the files on disk
+// instead of writing, exiting non-zero on any drift — the CI gate that
+// keeps the committed RESULTS.md honest.
+//
+// Every artifact is deterministic (fixed seed, sorted sweep order, cost
+// units instead of wall-clock), so regeneration is byte-identical;
+// progress and timing go to stderr only.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/report"
+)
+
+func main() {
+	short := flag.Bool("short", false, "quick preset: 3 x-points per figure, shrunk workloads, JIT/REF only")
+	seed := flag.Int64("seed", 1, "workload seed (committed artifacts use 1)")
+	out := flag.String("out", ".", "output directory (RESULTS.md, RESULTS.json, results/)")
+	check := flag.Bool("check", false, "regenerate and diff against existing artifacts instead of writing; non-zero exit on drift")
+	flag.Parse()
+
+	start := time.Now()
+	rep := report.Build(report.Options{Short: *short, Seed: *seed, Progress: os.Stderr})
+	fmt.Fprintf(os.Stderr, "sweep complete in %v\n", time.Since(start).Round(time.Millisecond))
+
+	artifacts, err := rep.Artifacts()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jitreport:", err)
+		os.Exit(1)
+	}
+
+	if *check {
+		drift := 0
+		for _, rel := range sortedKeys(artifacts) {
+			path := filepath.Join(*out, rel)
+			got, err := os.ReadFile(path)
+			switch {
+			case err != nil:
+				fmt.Fprintf(os.Stderr, "jitreport: %s: %v\n", rel, err)
+				drift++
+			case !bytes.Equal(got, artifacts[rel]):
+				fmt.Fprintf(os.Stderr, "jitreport: %s drifts from regenerated content\n", rel)
+				drift++
+			}
+		}
+		// Stale plots: a committed results/*.svg the harness no longer
+		// generates (renamed or dropped figure) is drift too.
+		for _, rel := range report.StaleSVGs(*out, artifacts) {
+			fmt.Fprintf(os.Stderr, "jitreport: %s exists on disk but is no longer generated\n", rel)
+			drift++
+		}
+		if drift > 0 {
+			fmt.Fprintf(os.Stderr, "jitreport: %d artifact(s) drift — regenerate with `go run ./cmd/jitreport%s`\n",
+				drift, shortFlag(*short))
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "jitreport: all artifacts match")
+		return
+	}
+
+	for _, rel := range sortedKeys(artifacts) {
+		path := filepath.Join(*out, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "jitreport:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(path, artifacts[rel], 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "jitreport:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "wrote", path)
+	}
+}
+
+func shortFlag(short bool) string {
+	if short {
+		return " -short"
+	}
+	return ""
+}
+
+func sortedKeys(m map[string][]byte) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -10,13 +10,18 @@
 // of join partners each tuple accumulates (λ·w/dmax — how many NPRs exist
 // to suppress) and the probability that a suspended sub-tuple is ever
 // demanded again (∝ λ·w/dmax² — how often suppression is later undone).
-// Scaling w or dmax distorts one of the two, so the harness keeps w, λ and
-// dmax at their paper values and scales ONLY the application-time horizon:
-// Scale=1 runs the full 5 hours; smaller scales run max(5h·Scale, 2.5·w),
-// enough windows for steady-state behaviour while finishing in seconds per
-// point. Per-point work is unchanged; only the number of processed arrivals
-// shrinks, so the figures' shape (who wins, by what factor, and the trend
-// across the sweep) is preserved.
+// Scaling w or dmax distorts one of the two, so the faithful harness keeps
+// w, λ and dmax at their paper values and scales ONLY the application-time
+// horizon: Scale=1 runs the full 5 hours; smaller scales run max(5h·Scale,
+// 2.5·w), enough windows for steady-state behaviour while finishing in
+// seconds per point. Per-point work is unchanged; only the number of
+// processed arrivals shrinks, so the figures' shape (who wins, by what
+// factor, and the trend across the sweep) is preserved. When the horizon
+// floor still costs too much, Config.SizeScale and Config.DomainScale
+// shrink windows and domains at a documented distortion: SizeScale alone
+// preserves the partner count and inflates rarity; DomainScale=√SizeScale
+// preserves rarity and shrinks the partner pool (the short report preset's
+// choice for the bushy figures, internal/report).
 package exp
 
 import (
@@ -166,8 +171,16 @@ type Config struct {
 	// suspended. Used by the fast benchmark preset; full reproductions use
 	// SizeScale=1. Zero means 1.
 	SizeScale float64
-	Seed      int64
-	Modes     []NamedMode
+	// DomainScale, when in (0,1], scales dmax independently; SizeScale then
+	// scales only the windows. Zero follows SizeScale. Setting DomainScale
+	// to √SizeScale preserves the demand-rarity ratio λ·w/dmax² exactly
+	// while the partner count λ·w/dmax shrinks by √SizeScale — the scaling
+	// the short report preset uses on the bushy figures (internal/report),
+	// where distorted rarity, not the partner pool, is what flips the
+	// JIT-vs-REF shape at quick sizes.
+	DomainScale float64
+	Seed        int64
+	Modes       []NamedMode
 	// Horizon overrides the default 5-hour (scaled) application time when
 	// non-zero.
 	Horizon stream.Time
@@ -204,9 +217,13 @@ func (c Config) sizeW(w stream.Time) stream.Time {
 	return stream.Time(math.Round(float64(w) * c.sizeScale()))
 }
 
-// sizeD scales a domain per SizeScale.
+// sizeD scales a domain per DomainScale, falling back to SizeScale.
 func (c Config) sizeD(d int64) int64 {
-	s := int64(math.Round(float64(d) * c.sizeScale()))
+	scale := c.sizeScale()
+	if c.DomainScale > 0 && c.DomainScale <= 1 {
+		scale = c.DomainScale
+	}
+	s := int64(math.Round(float64(d) * scale))
 	if s < 2 {
 		s = 2
 	}
@@ -243,32 +260,6 @@ type Figure struct {
 	Points []Point
 }
 
-// runSweep executes the base params once per x-value and mode.
-func runSweep(cfg Config, id, title, xlabel string, xs []float64, mk func(x float64) Params) *Figure {
-	fig := &Figure{ID: id, Title: title, XLabel: xlabel}
-	for _, nm := range cfg.Modes {
-		fig.Modes = append(fig.Modes, nm.Name)
-	}
-	for _, x := range xs {
-		pt := Point{X: x, Results: make(map[string]engine.Result, len(cfg.Modes))}
-		for _, nm := range cfg.Modes {
-			p := mk(x)
-			p.Mode = nm.Mode
-			p.Seed = cfg.Seed
-			p.Indexed = cfg.Indexed
-			p.Shards = cfg.Shards
-			p.Window = cfg.sizeW(p.Window)
-			p.DMax = cfg.sizeD(p.DMax)
-			if p.Horizon == 0 {
-				p.Horizon = cfg.horizonFor(p.Window)
-			}
-			pt.Results[nm.Name] = p.Run()
-		}
-		fig.Points = append(fig.Points, pt)
-	}
-	return fig
-}
-
 // bushyBase returns the bushy-plan defaults of Table III (w=20min, λ=1,
 // N=6, dmax=200), scaled.
 func (c Config) bushyBase() Params {
@@ -292,104 +283,6 @@ func (c Config) leftDeepBase() Params {
 		DMax:             50,
 		LastStreamFactor: 100,
 	}
-}
-
-// Fig10 reproduces Figure 10: overhead vs window size w (bushy plan).
-func Fig10(cfg Config) *Figure {
-	return runSweep(cfg, "fig10", "Overhead vs window size w (bushy plan)", "w (min)",
-		[]float64{10, 15, 20, 25, 30}, func(x float64) Params {
-			p := cfg.bushyBase()
-			p.Window = stream.Time(x * float64(stream.Minute))
-			return p
-		})
-}
-
-// Fig11 reproduces Figure 11: overhead vs stream rate λ (bushy plan).
-func Fig11(cfg Config) *Figure {
-	return runSweep(cfg, "fig11", "Overhead vs stream rate λ (bushy plan)", "λ (tuples/sec)",
-		[]float64{0.4, 0.7, 1.0, 1.3, 1.6}, func(x float64) Params {
-			p := cfg.bushyBase()
-			p.Rate = x
-			return p
-		})
-}
-
-// Fig12 reproduces Figure 12: overhead vs number of sources N (bushy plan).
-func Fig12(cfg Config) *Figure {
-	return runSweep(cfg, "fig12", "Overhead vs number of sources N (bushy plan)", "N",
-		[]float64{4, 5, 6, 7, 8}, func(x float64) Params {
-			p := cfg.bushyBase()
-			p.N = int(x)
-			return p
-		})
-}
-
-// Fig13 reproduces Figure 13: overhead vs max data value dmax (bushy plan).
-func Fig13(cfg Config) *Figure {
-	return runSweep(cfg, "fig13", "Overhead vs max data value dmax (bushy plan)", "dmax",
-		[]float64{100, 150, 200, 250, 300}, func(x float64) Params {
-			p := cfg.bushyBase()
-			p.DMax = int64(x)
-			return p
-		})
-}
-
-// Fig14 reproduces Figure 14: overhead vs window size w (left-deep plan).
-func Fig14(cfg Config) *Figure {
-	return runSweep(cfg, "fig14", "Overhead vs window size w (left-deep plan)", "w (min)",
-		[]float64{5, 7.5, 10, 12.5, 15}, func(x float64) Params {
-			p := cfg.leftDeepBase()
-			p.Window = stream.Time(x * float64(stream.Minute))
-			return p
-		})
-}
-
-// Fig15 reproduces Figure 15: overhead vs stream rate λ (left-deep plan).
-func Fig15(cfg Config) *Figure {
-	return runSweep(cfg, "fig15", "Overhead vs stream rate λ (left-deep)", "λ (tuples/sec)",
-		[]float64{0.4, 0.7, 1.0, 1.3, 1.6}, func(x float64) Params {
-			p := cfg.leftDeepBase()
-			p.Rate = x
-			return p
-		})
-}
-
-// Fig16 reproduces Figure 16: overhead vs number of sources N (left-deep).
-func Fig16(cfg Config) *Figure {
-	return runSweep(cfg, "fig16", "Overhead vs number of sources N (left-deep)", "N",
-		[]float64{3, 4, 5, 6}, func(x float64) Params {
-			p := cfg.leftDeepBase()
-			p.N = int(x)
-			return p
-		})
-}
-
-// Fig17 reproduces Figure 17: overhead vs max data value dmax (left-deep).
-func Fig17(cfg Config) *Figure {
-	return runSweep(cfg, "fig17", "Overhead vs max data value dmax (left-deep)", "dmax",
-		[]float64{30, 40, 50, 60, 70}, func(x float64) Params {
-			p := cfg.leftDeepBase()
-			p.DMax = int64(x)
-			return p
-		})
-}
-
-// All runs every figure.
-func All(cfg Config) []*Figure {
-	return []*Figure{
-		Fig10(cfg), Fig11(cfg), Fig12(cfg), Fig13(cfg),
-		Fig14(cfg), Fig15(cfg), Fig16(cfg), Fig17(cfg),
-	}
-}
-
-// ByID returns the runner for one figure id (10..17).
-func ByID(id int) (func(Config) *Figure, bool) {
-	m := map[int]func(Config) *Figure{
-		10: Fig10, 11: Fig11, 12: Fig12, 13: Fig13,
-		14: Fig14, 15: Fig15, 16: Fig16, 17: Fig17,
-	}
-	f, ok := m[id]
-	return f, ok
 }
 
 // Render prints the figure in the paper's two-panel structure: CPU cost and

@@ -59,12 +59,7 @@ func TestSmallSweepShape(t *testing.T) {
 		t.Skip("sweep is seconds-long")
 	}
 	cfg := QuickConfig()
-	fig := runSweep(cfg, "figX", "reduced fig10", "w (min)",
-		[]float64{10, 15, 20}, func(x float64) Params {
-			p := cfg.bushyBase()
-			p.Window = stream.Time(x * float64(stream.Minute))
-			return p
-		})
+	fig := mustSpec(10).RunXs(cfg, []float64{10, 15, 20})
 	// The quick preset weakens demand rarity (see Config.SizeScale), so JIT
 	// is allowed a small bookkeeping overhead at the largest point; result
 	// counts must be identical everywhere.

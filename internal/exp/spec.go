@@ -1,0 +1,164 @@
+package exp
+
+import (
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/stream"
+)
+
+// Spec declaratively describes one reproduced evaluation figure: which
+// Table III base it starts from (bushy or left-deep), which parameter the
+// figure sweeps, and the x-grid of Sec. VI. The figure runners (Fig10–
+// Fig17, All, ByID) and the report harness (internal/report) both consume
+// the same specs, so the sweep grid has exactly one definition.
+type Spec struct {
+	// ID is the paper's figure number (10..17).
+	ID int
+	// Name is the stable slug used in output artifacts ("fig10").
+	Name string
+	// Title and XLabel match the paper's axis captions.
+	Title  string
+	XLabel string
+	// Xs is the full sweep grid of the swept parameter, in the paper's
+	// order (ascending).
+	Xs []float64
+	// LeftDeep selects the left-deep Table III base; false means bushy.
+	LeftDeep bool
+	// Apply writes the swept x-value into the base parameters.
+	Apply func(p *Params, x float64)
+}
+
+func setWindowMin(p *Params, x float64) { p.Window = stream.Time(x * float64(stream.Minute)) }
+func setRate(p *Params, x float64)      { p.Rate = x }
+func setN(p *Params, x float64)         { p.N = int(x) }
+func setDMax(p *Params, x float64)      { p.DMax = int64(x) }
+
+// Specs returns the eight figure specifications of Sec. VI in ascending
+// figure order. The slice is freshly allocated; callers may reorder it.
+func Specs() []Spec {
+	return []Spec{
+		{ID: 10, Name: "fig10", Title: "Overhead vs window size w (bushy plan)",
+			XLabel: "w (min)", Xs: []float64{10, 15, 20, 25, 30}, Apply: setWindowMin},
+		{ID: 11, Name: "fig11", Title: "Overhead vs stream rate λ (bushy plan)",
+			XLabel: "λ (tuples/sec)", Xs: []float64{0.4, 0.7, 1.0, 1.3, 1.6}, Apply: setRate},
+		{ID: 12, Name: "fig12", Title: "Overhead vs number of sources N (bushy plan)",
+			XLabel: "N", Xs: []float64{4, 5, 6, 7, 8}, Apply: setN},
+		{ID: 13, Name: "fig13", Title: "Overhead vs max data value dmax (bushy plan)",
+			XLabel: "dmax", Xs: []float64{100, 150, 200, 250, 300}, Apply: setDMax},
+		{ID: 14, Name: "fig14", Title: "Overhead vs window size w (left-deep plan)",
+			XLabel: "w (min)", Xs: []float64{5, 7.5, 10, 12.5, 15}, LeftDeep: true, Apply: setWindowMin},
+		{ID: 15, Name: "fig15", Title: "Overhead vs stream rate λ (left-deep)",
+			XLabel: "λ (tuples/sec)", Xs: []float64{0.4, 0.7, 1.0, 1.3, 1.6}, LeftDeep: true, Apply: setRate},
+		{ID: 16, Name: "fig16", Title: "Overhead vs number of sources N (left-deep)",
+			XLabel: "N", Xs: []float64{3, 4, 5, 6}, LeftDeep: true, Apply: setN},
+		{ID: 17, Name: "fig17", Title: "Overhead vs max data value dmax (left-deep)",
+			XLabel: "dmax", Xs: []float64{30, 40, 50, 60, 70}, LeftDeep: true, Apply: setDMax},
+	}
+}
+
+// SpecByID returns the spec for one figure number (10..17).
+func SpecByID(id int) (Spec, bool) {
+	specs := Specs()
+	i := sort.Search(len(specs), func(i int) bool { return specs[i].ID >= id })
+	if i < len(specs) && specs[i].ID == id {
+		return specs[i], true
+	}
+	return Spec{}, false
+}
+
+// Base returns the spec's Table III defaults (unscaled, mode-less).
+func (s Spec) Base(cfg Config) Params {
+	if s.LeftDeep {
+		return cfg.leftDeepBase()
+	}
+	return cfg.bushyBase()
+}
+
+// ParamsAt resolves one grid cell into fully-specified run parameters:
+// base defaults, the swept x-value, the mode, and the config's seed,
+// scaling and execution toggles.
+func (s Spec) ParamsAt(cfg Config, nm NamedMode, x float64) Params {
+	p := s.Base(cfg)
+	s.Apply(&p, x)
+	p.Mode = nm.Mode
+	p.Seed = cfg.Seed
+	p.Indexed = cfg.Indexed
+	p.Shards = cfg.Shards
+	p.Window = cfg.sizeW(p.Window)
+	p.DMax = cfg.sizeD(p.DMax)
+	if p.Horizon == 0 {
+		p.Horizon = cfg.horizonFor(p.Window)
+	}
+	return p
+}
+
+// Run executes the figure over its full x-grid.
+func (s Spec) Run(cfg Config) *Figure { return s.RunXs(cfg, s.Xs) }
+
+// RunXs executes the figure over an explicit x-grid (a subset of Xs for
+// quick presets; any grid is legal).
+func (s Spec) RunXs(cfg Config, xs []float64) *Figure {
+	fig := &Figure{ID: s.Name, Title: s.Title, XLabel: s.XLabel}
+	for _, nm := range cfg.Modes {
+		fig.Modes = append(fig.Modes, nm.Name)
+	}
+	for _, x := range xs {
+		pt := Point{X: x, Results: make(map[string]engine.Result, len(cfg.Modes))}
+		for _, nm := range cfg.Modes {
+			pt.Results[nm.Name] = s.ParamsAt(cfg, nm, x).Run()
+		}
+		fig.Points = append(fig.Points, pt)
+	}
+	return fig
+}
+
+// Fig10 reproduces Figure 10: overhead vs window size w (bushy plan).
+func Fig10(cfg Config) *Figure { return mustSpec(10).Run(cfg) }
+
+// Fig11 reproduces Figure 11: overhead vs stream rate λ (bushy plan).
+func Fig11(cfg Config) *Figure { return mustSpec(11).Run(cfg) }
+
+// Fig12 reproduces Figure 12: overhead vs number of sources N (bushy plan).
+func Fig12(cfg Config) *Figure { return mustSpec(12).Run(cfg) }
+
+// Fig13 reproduces Figure 13: overhead vs max data value dmax (bushy plan).
+func Fig13(cfg Config) *Figure { return mustSpec(13).Run(cfg) }
+
+// Fig14 reproduces Figure 14: overhead vs window size w (left-deep plan).
+func Fig14(cfg Config) *Figure { return mustSpec(14).Run(cfg) }
+
+// Fig15 reproduces Figure 15: overhead vs stream rate λ (left-deep plan).
+func Fig15(cfg Config) *Figure { return mustSpec(15).Run(cfg) }
+
+// Fig16 reproduces Figure 16: overhead vs number of sources N (left-deep).
+func Fig16(cfg Config) *Figure { return mustSpec(16).Run(cfg) }
+
+// Fig17 reproduces Figure 17: overhead vs max data value dmax (left-deep).
+func Fig17(cfg Config) *Figure { return mustSpec(17).Run(cfg) }
+
+func mustSpec(id int) Spec {
+	s, ok := SpecByID(id)
+	if !ok {
+		panic("exp: unknown figure spec")
+	}
+	return s
+}
+
+// All runs every figure.
+func All(cfg Config) []*Figure {
+	var figs []*Figure
+	for _, s := range Specs() {
+		figs = append(figs, s.Run(cfg))
+	}
+	return figs
+}
+
+// ByID returns the runner for one figure id (10..17).
+func ByID(id int) (func(Config) *Figure, bool) {
+	s, ok := SpecByID(id)
+	if !ok {
+		return nil, false
+	}
+	return s.Run, true
+}

@@ -2,6 +2,16 @@
 // producer operators (Sec. III-A, IV): MNS descriptors with value
 // signatures, feedback messages (suspend / resume / mark / unmark), the
 // consumer-side MNS buffer, and the producer-side blacklist and mark table.
+//
+// Layout: feedback.go holds the descriptors and messages; buffer.go the
+// consumer-side MNS buffer (attribute-set groups probed on every arrival
+// to detect resumption triggers); blacklist.go the producer-side Type I
+// structures (parked tuples under anchor entries, signature
+// generalization, cursor/Pending/Done exactly-once bookkeeping); marks.go
+// the Type II mark table (suppressed pairs recorded under origin marks,
+// unmark catch-up). The exactly-once and expiry discipline these
+// structures jointly enforce is specified in DESIGN.md §2; their
+// min-deadline caches feed the engine's timer heap (DESIGN.md §4).
 package feedback
 
 import (

@@ -9,6 +9,12 @@
 // iff all its Level-1 descendants do, i.e. iff node ⊆ matchedAtoms). A node
 // that matches some t' is dead; after all of S_o is observed, the minimal
 // alive nodes are the MNSs.
+//
+// Node evaluations are charged to metrics.Counters.LatticeNodes — lattice
+// work is part of JIT's honest overhead in the reproduced figures
+// (RESULTS.md). The Bloom filters of internal/bloom are the paper's
+// cheaper, approximate alternative to this exact lattice (the Bloom-JIT
+// mode).
 package lattice
 
 // MaxAtoms bounds the lattice size; beyond it callers should fall back to

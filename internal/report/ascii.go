@@ -1,0 +1,87 @@
+package report
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode/utf8"
+
+	"repro/internal/exp"
+)
+
+// asciiBarWidth is the longest bar in an ASCII trend chart, in cells.
+const asciiBarWidth = 44
+
+// asciiChart renders a figure's cost units as paired horizontal bars, one
+// group per x-value, scaled to the figure's maximum — a trend plot that
+// survives plain-text diffing and terminal review. Lower is better.
+func asciiChart(fig *exp.Figure) string {
+	max := uint64(0)
+	for _, pt := range fig.Points {
+		for _, m := range fig.Modes {
+			if c := pt.Results[m].CostUnits; c > max {
+				max = c
+			}
+		}
+	}
+	param := strings.Fields(fig.XLabel)[0]
+	modeW := 0
+	for _, m := range fig.Modes {
+		if len(m) > modeW {
+			modeW = len(m)
+		}
+	}
+	labels := make([]string, len(fig.Points))
+	labelW := 0
+	for i, pt := range fig.Points {
+		labels[i] = fmt.Sprintf("%s=%s", param, trimFloat(pt.X))
+		if n := utf8.RuneCountInString(labels[i]); n > labelW {
+			labelW = n
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "cost units by %s (lower is better)\n\n", fig.XLabel)
+	for i, pt := range fig.Points {
+		label := labels[i] + strings.Repeat(" ", labelW-utf8.RuneCountInString(labels[i]))
+		for j, m := range fig.Modes {
+			if j > 0 {
+				label = strings.Repeat(" ", labelW)
+			}
+			c := pt.Results[m].CostUnits
+			fmt.Fprintf(&b, "  %s  %-*s %s %s\n", label, modeW, m, bar(c, max), group(c))
+		}
+	}
+	return b.String()
+}
+
+// bar scales v against max into a run of block cells; nonzero values get
+// at least one cell.
+func bar(v, max uint64) string {
+	if max == 0 {
+		return ""
+	}
+	n := int(float64(v) / float64(max) * asciiBarWidth)
+	if v > 0 && n == 0 {
+		n = 1
+	}
+	return strings.Repeat("█", n)
+}
+
+// group renders an integer with thousands separators.
+func group(v uint64) string {
+	s := strconv.FormatUint(v, 10)
+	var b strings.Builder
+	for i, r := range s {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			b.WriteByte(',')
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// trimFloat renders a float with no trailing zeros (10 → "10", 7.5 →
+// "7.5").
+func trimFloat(x float64) string {
+	return strconv.FormatFloat(x, 'f', -1, 64)
+}

@@ -1,0 +1,90 @@
+package report
+
+import (
+	"testing"
+
+	"repro/internal/exp"
+)
+
+// TestGridSortedDupFree pins the sweep-grid enumerator's contract: sorted
+// by (figure, x, mode), duplicate-free, and exactly covering specs × xs ×
+// modes in both presets.
+func TestGridSortedDupFree(t *testing.T) {
+	specs := exp.Specs()
+	for _, short := range []bool{false, true} {
+		for _, modes := range [][]exp.NamedMode{exp.DefaultModes(), exp.AblationModes()} {
+			cells := Grid(specs, modes, short)
+			want := 0
+			for _, s := range specs {
+				xs := s.Xs
+				if short {
+					xs = ShortXs(xs)
+				}
+				want += len(xs) * len(modes)
+			}
+			if len(cells) != want {
+				t.Fatalf("short=%v modes=%d: %d cells, want %d", short, len(modes), len(cells), want)
+			}
+			for i := 1; i < len(cells); i++ {
+				if !cells[i-1].less(cells[i]) {
+					t.Fatalf("short=%v: cells[%d]=%+v not strictly before cells[%d]=%+v",
+						short, i-1, cells[i-1], i, cells[i])
+				}
+			}
+		}
+	}
+}
+
+// TestGridDedupe feeds the enumerator duplicate specs and checks the grid
+// stays duplicate-free.
+func TestGridDedupe(t *testing.T) {
+	specs := exp.Specs()
+	doubled := append(append([]exp.Spec{}, specs...), specs...)
+	a := Grid(specs, exp.DefaultModes(), true)
+	b := Grid(doubled, exp.DefaultModes(), true)
+	if len(a) != len(b) {
+		t.Fatalf("doubled specs changed the grid: %d vs %d cells", len(a), len(b))
+	}
+}
+
+// TestShortXs pins the short subset: endpoints plus the middle, small
+// grids unchanged.
+func TestShortXs(t *testing.T) {
+	got := ShortXs([]float64{10, 15, 20, 25, 30})
+	want := []float64{10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	small := []float64{3, 4, 5}
+	if g := ShortXs(small); len(g) != 3 || g[0] != 3 || g[2] != 5 {
+		t.Fatalf("small grid changed: %v", g)
+	}
+}
+
+// TestShortConfigScaling pins the per-shape short scaling: bushy figures
+// preserve demand rarity (domain ×√0.3), left-deep figures the partner
+// pool (both ×0.5).
+func TestShortConfigScaling(t *testing.T) {
+	o := Options{Short: true}
+	for _, s := range exp.Specs() {
+		cfg := o.ConfigFor(s)
+		if s.LeftDeep {
+			if cfg.SizeScale != 0.5 || cfg.DomainScale != 0.5 {
+				t.Fatalf("%s: got size %v domain %v", s.Name, cfg.SizeScale, cfg.DomainScale)
+			}
+		} else {
+			if cfg.SizeScale != 0.3 || cfg.DomainScale <= 0.54 || cfg.DomainScale >= 0.55 {
+				t.Fatalf("%s: got size %v domain %v", s.Name, cfg.SizeScale, cfg.DomainScale)
+			}
+		}
+	}
+	full := Options{}
+	if cfg := full.ConfigFor(exp.Specs()[0]); cfg.SizeScale != 1 || cfg.Scale != 0.02 {
+		t.Fatalf("full preset scaling: %+v", cfg)
+	}
+}

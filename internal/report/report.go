@@ -1,0 +1,222 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/exp"
+	"repro/internal/stream"
+)
+
+// Options selects the report preset.
+type Options struct {
+	// Short runs the quick preset: three x-points per figure, shrunk
+	// workloads, JIT/REF only. The committed RESULTS.md is this preset's
+	// output; the golden test regenerates it byte for byte.
+	Short bool
+	// Seed is the workload seed (default 1). The committed artifacts use
+	// the default.
+	Seed int64
+	// Progress, when non-nil, receives one line per completed figure with
+	// wall-clock timing. Wall time never enters the artifacts themselves —
+	// it would break byte-stable regeneration.
+	Progress io.Writer
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// Preset returns the preset slug recorded in the artifacts.
+func (o Options) Preset() string {
+	if o.Short {
+		return "short"
+	}
+	return "full"
+}
+
+// Modes returns the mode set of the preset: the paper's JIT-vs-REF
+// comparison in short mode, the full ablation (plus DOE and Bloom-JIT) in
+// full mode.
+func (o Options) Modes() []exp.NamedMode {
+	if o.Short {
+		return exp.DefaultModes()
+	}
+	return exp.AblationModes()
+}
+
+// ConfigFor resolves the exp configuration used for one figure under the
+// preset (see the package documentation for the short preset's per-shape
+// scaling rationale).
+func (o Options) ConfigFor(s exp.Spec) exp.Config {
+	cfg := exp.Config{Seed: o.seed(), Modes: o.Modes()}
+	if o.Short {
+		cfg.Scale = 0.001 // horizon floors at 2.5 windows
+		cfg.SizeScale, cfg.DomainScale = shortSizes(s)
+	} else {
+		cfg.Scale = 0.02
+		cfg.SizeScale = 1
+	}
+	return cfg
+}
+
+// Report holds one complete sweep: every figure's measurements plus the
+// post-paper extension runs. All content is deterministic for fixed
+// Options.
+type Report struct {
+	Preset string
+	Seed   int64
+	Modes  []string
+	Grid   []Cell
+	// Figures holds the reproduced figures in ascending figure order,
+	// aligned with Specs.
+	Figures []*exp.Figure
+	Specs   []exp.Spec
+	Ext     Extensions
+}
+
+// Build executes the full sweep grid of the preset plus the extension runs
+// and returns the assembled report. Wall-clock duration depends on the
+// host; everything recorded in the result does not.
+func Build(o Options) *Report {
+	specs := exp.Specs()
+	r := &Report{
+		Preset: o.Preset(),
+		Seed:   o.seed(),
+		Grid:   Grid(specs, o.Modes(), o.Short),
+		Specs:  specs,
+	}
+	for _, nm := range o.Modes() {
+		r.Modes = append(r.Modes, nm.Name)
+	}
+	for _, s := range specs {
+		xs := s.Xs
+		if o.Short {
+			xs = ShortXs(xs)
+		}
+		start := time.Now()
+		r.Figures = append(r.Figures, s.RunXs(o.ConfigFor(s), xs))
+		if o.Progress != nil {
+			fmt.Fprintf(o.Progress, "%s: %d points × %d modes in %v\n",
+				s.Name, len(xs), len(o.Modes()), time.Since(start).Round(time.Millisecond))
+		}
+	}
+	start := time.Now()
+	r.Ext = runExtensions(o)
+	if o.Progress != nil {
+		fmt.Fprintf(o.Progress, "extensions: %v\n", time.Since(start).Round(time.Millisecond))
+	}
+	return r
+}
+
+// Extensions are the post-paper subsystem checks woven into RESULTS.md: the
+// same base workload run under the §3 hash index, the §4 end-of-stream
+// drain, and the §5 sharded runner, so the results document covers the
+// repo's extensions next to the paper's figures.
+type Extensions struct {
+	// Base describes the common workload of all extension rows.
+	Base exp.Params
+	// Indexed compares linear-scan against hash-indexed probing per mode
+	// (DESIGN.md §3).
+	Indexed []IndexedRow
+	// Drain runs every mode with the end-of-stream drain and records the
+	// delivered finals against REF's (DESIGN.md §4).
+	Drain []DrainRow
+	// Sharded runs JIT across key-partitioned engine replicas
+	// (DESIGN.md §5).
+	Sharded []ShardRow
+}
+
+// IndexedRow is one mode's scan-vs-indexed comparison.
+type IndexedRow struct {
+	Mode        string
+	Scan        engine.Result
+	Indexed     engine.Result
+	ScanCmp     uint64
+	IndexedCmp  uint64
+	ResultsBoth bool // identical final-result counts
+}
+
+// DrainRow is one mode's drained run.
+type DrainRow struct {
+	Mode   string
+	Result engine.Result
+}
+
+// ShardRow is one shard-count's run of the extension workload.
+type ShardRow struct {
+	Shards     int
+	Merged     engine.Result
+	Routed     uint64
+	Broadcasts uint64
+	Fallback   bool
+}
+
+// extBase is the extension workload: the dense end-of-stream family of
+// DESIGN.md §4 at a size that keeps the whole extension section seconds-
+// cheap while still delivering final results — a 4-way bushy clique needs
+// all six pairwise equalities to hold, so finals only appear at dense
+// rates and small domains (λ=3, w=90s, dmax=30 ⇒ ~45 finals over 2.5
+// windows). Nonzero finals are what give the drain section teeth: the
+// drain-less figure runs above may lose suspended finals at end-of-stream,
+// and this section shows the §4 drain recovering every one of them.
+func extBase(seed int64) exp.Params {
+	return exp.Params{
+		N:       4,
+		Bushy:   true,
+		Window:  90 * stream.Second,
+		Rate:    3,
+		DMax:    30,
+		Horizon: 225*stream.Second + 1,
+		Seed:    seed,
+	}
+}
+
+func runExtensions(o Options) Extensions {
+	ext := Extensions{Base: extBase(o.seed())}
+	modes := []exp.NamedMode{{Name: "JIT", Mode: core.JIT()}, {Name: "REF", Mode: core.REF()}}
+
+	for _, nm := range modes {
+		p := ext.Base
+		p.Mode = nm.Mode
+		scan := p.Run()
+		p.Indexed = true
+		idx := p.Run()
+		ext.Indexed = append(ext.Indexed, IndexedRow{
+			Mode:        nm.Name,
+			Scan:        scan,
+			Indexed:     idx,
+			ScanCmp:     scan.Counters.Comparisons,
+			IndexedCmp:  idx.Counters.Comparisons,
+			ResultsBoth: scan.Results == idx.Results,
+		})
+	}
+
+	for _, nm := range exp.AblationModes() {
+		p := ext.Base
+		p.Mode = nm.Mode
+		p.Drain = true
+		ext.Drain = append(ext.Drain, DrainRow{Mode: nm.Name, Result: p.Run()})
+	}
+
+	for _, shards := range []int{1, 2, 4} {
+		p := ext.Base
+		p.Mode = core.JIT()
+		p.Shards = shards
+		res := p.RunSharded()
+		ext.Sharded = append(ext.Sharded, ShardRow{
+			Shards:     shards,
+			Merged:     res.Merged,
+			Routed:     res.Routed,
+			Broadcasts: res.Broadcasts,
+			Fallback:   res.Fallback,
+		})
+	}
+	return ext
+}

@@ -1,0 +1,233 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+// Series colors, assigned to modes in fixed order (never cycled); the
+// palette's adjacent pairs are colorblind-validated on the light surface.
+// Low-contrast slots (aqua, yellow) are relieved by the direct labels at
+// every line end and by the measurement table next to each plot in
+// RESULTS.md.
+var seriesColor = map[string]string{
+	"JIT":   "#2a78d6",
+	"REF":   "#eb6834",
+	"DOE":   "#1baf7a",
+	"Bloom": "#eda100",
+}
+
+const (
+	svgW        = 720
+	panelH      = 280
+	panelGap    = 44
+	plotLeft    = 70
+	plotRight   = 630
+	svgFont     = "system-ui, 'Segoe UI', Helvetica, Arial, sans-serif"
+	inkPrimary  = "#0b0b0b"
+	inkSecond   = "#52514e"
+	gridColor   = "#e8e7e3"
+	axisColor   = "#c9c8c2"
+	surfaceCol  = "#fcfcfb"
+	titleOffset = 40
+)
+
+// svgFigure renders one figure as a self-contained two-panel SVG: cost
+// units on top, peak memory below, one line per mode. Output is fully
+// deterministic (fixed-precision coordinates, no timestamps).
+func svgFigure(fig *exp.Figure) []byte {
+	totalH := titleOffset + panelH + panelGap + panelH + 24
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="%s">`,
+		svgW, totalH, svgW, totalH, svgFont)
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="%s"/>`, svgW, totalH, surfaceCol)
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-size="15" font-weight="600" fill="%s">%s — %s</text>`,
+		plotLeft, inkPrimary, strings.ToUpper(fig.ID), xmlEscape(fig.Title))
+	b.WriteByte('\n')
+
+	cost := func(m string, pt exp.Point) float64 { return float64(pt.Results[m].CostUnits) }
+	mem := func(m string, pt exp.Point) float64 { return pt.Results[m].PeakMemKB }
+	panel(&b, fig, titleOffset, "cost units (deterministic work; lower is better)", cost, true)
+	panel(&b, fig, titleOffset+panelH+panelGap, "peak memory (KB; lower is better)", mem, false)
+
+	b.WriteString("</svg>\n")
+	return []byte(b.String())
+}
+
+// panel draws one line-chart panel at vertical offset top.
+func panel(b *strings.Builder, fig *exp.Figure, top int, subtitle string, val func(string, exp.Point) float64, legend bool) {
+	plotTop := top + 28
+	plotBot := top + panelH - 32
+
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-size="12" fill="%s">%s</text>`,
+		plotLeft, top+14, inkSecond, xmlEscape(subtitle))
+	b.WriteByte('\n')
+	if legend {
+		lx := plotRight - 70*len(fig.Modes)
+		for _, m := range fig.Modes {
+			fmt.Fprintf(b, `<rect x="%d" y="%d" width="10" height="10" rx="2" fill="%s"/>`,
+				lx, top+5, seriesColor[m])
+			fmt.Fprintf(b, `<text x="%d" y="%d" font-size="12" fill="%s">%s</text>`,
+				lx+14, top+14, inkSecond, m)
+			b.WriteByte('\n')
+			lx += 70
+		}
+	}
+
+	xs := make([]float64, len(fig.Points))
+	maxV := 0.0
+	for i, pt := range fig.Points {
+		xs[i] = pt.X
+		for _, m := range fig.Modes {
+			if v := val(m, pt); v > maxV {
+				maxV = v
+			}
+		}
+	}
+	step, yTop := niceScale(maxV)
+
+	// Grid, y ticks.
+	for i := 0; ; i++ {
+		v := float64(i) * step
+		if v > yTop+step/2 {
+			break
+		}
+		y := mapY(v, yTop, plotTop, plotBot)
+		fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="%s" stroke-width="1"/>`,
+			plotLeft, y, plotRight, y, gridColor)
+		fmt.Fprintf(b, `<text x="%d" y="%.1f" font-size="11" fill="%s" text-anchor="end">%s</text>`,
+			plotLeft-8, y+4, inkSecond, si(v))
+		b.WriteByte('\n')
+	}
+	// X axis baseline and ticks.
+	fmt.Fprintf(b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="1"/>`,
+		plotLeft, plotBot, plotRight, plotBot, axisColor)
+	b.WriteByte('\n')
+	for i, x := range xs {
+		px := mapX(i, len(xs))
+		fmt.Fprintf(b, `<text x="%.1f" y="%d" font-size="11" fill="%s" text-anchor="middle">%s</text>`,
+			px, plotBot+18, inkSecond, trimFloat(x))
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-size="11" fill="%s" text-anchor="middle">%s</text>`,
+		(plotLeft+plotRight)/2, plotBot+32, inkSecond, xmlEscape(fig.XLabel))
+	b.WriteByte('\n')
+
+	// Series: 2px line, ≥8px markers (r=4), direct label at the line end.
+	labelY := endLabelYs(fig, val, yTop, plotTop, plotBot)
+	for mi, m := range fig.Modes {
+		color := seriesColor[m]
+		var pts []string
+		for i, pt := range fig.Points {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f",
+				mapX(i, len(fig.Points)), mapY(val(m, pt), yTop, plotTop, plotBot)))
+		}
+		fmt.Fprintf(b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2" stroke-linejoin="round"/>`,
+			strings.Join(pts, " "), color)
+		b.WriteByte('\n')
+		for i, pt := range fig.Points {
+			fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="4" fill="%s" stroke="%s" stroke-width="2"/>`,
+				mapX(i, len(fig.Points)), mapY(val(m, pt), yTop, plotTop, plotBot), color, surfaceCol)
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-size="12" fill="%s">%s</text>`,
+			float64(plotRight)+8, labelY[mi]+4, inkPrimary, m)
+		b.WriteByte('\n')
+	}
+}
+
+// endLabelYs computes the direct-label baselines at the line ends, nudged
+// apart so converging series keep ≥14px of separation.
+func endLabelYs(fig *exp.Figure, val func(string, exp.Point) float64, yTop float64, plotTop, plotBot int) []float64 {
+	const minGap = 14
+	last := fig.Points[len(fig.Points)-1]
+	type lbl struct {
+		idx int
+		y   float64
+	}
+	lbls := make([]lbl, len(fig.Modes))
+	for i, m := range fig.Modes {
+		lbls[i] = lbl{i, mapY(val(m, last), yTop, plotTop, plotBot)}
+	}
+	sort.SliceStable(lbls, func(a, b int) bool { return lbls[a].y < lbls[b].y })
+	for i := 1; i < len(lbls); i++ {
+		if lbls[i].y < lbls[i-1].y+minGap {
+			lbls[i].y = lbls[i-1].y + minGap
+		}
+	}
+	out := make([]float64, len(fig.Modes))
+	for _, l := range lbls {
+		out[l.idx] = l.y
+	}
+	return out
+}
+
+func mapX(i, n int) float64 {
+	if n <= 1 {
+		return float64(plotLeft+plotRight) / 2
+	}
+	return float64(plotLeft) + float64(i)/float64(n-1)*float64(plotRight-plotLeft)
+}
+
+func mapY(v, yTop float64, plotTop, plotBot int) float64 {
+	if yTop == 0 {
+		return float64(plotBot)
+	}
+	return float64(plotBot) - v/yTop*float64(plotBot-plotTop)
+}
+
+// niceScale picks a 1/2/5×10^k tick step covering max with four steps.
+func niceScale(max float64) (step, top float64) {
+	if max <= 0 {
+		return 1, 4
+	}
+	raw := max / 4
+	mag := 1.0
+	for mag*10 <= raw {
+		mag *= 10
+	}
+	for mag > raw {
+		mag /= 10
+	}
+	switch {
+	case raw/mag >= 5:
+		step = 10 * mag
+	case raw/mag >= 2:
+		step = 5 * mag
+	default:
+		step = 2 * mag
+	}
+	top = step
+	for top < max {
+		top += step
+	}
+	return step, top
+}
+
+// si renders a tick value compactly (1500000 → "1.5M").
+func si(v float64) string {
+	switch {
+	case v >= 1e9:
+		return trim2(v/1e9) + "G"
+	case v >= 1e6:
+		return trim2(v/1e6) + "M"
+	case v >= 1e3:
+		return trim2(v/1e3) + "k"
+	}
+	return trim2(v)
+}
+
+func trim2(v float64) string {
+	return strconv.FormatFloat(v, 'g', 3, 64)
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

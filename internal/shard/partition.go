@@ -1,12 +1,3 @@
-// Package shard scales one continuous query across key-partitioned engine
-// replicas (DESIGN.md §5). Since every crossing predicate is an equi-join,
-// two tuples that disagree on a plan-wide compatible partitioning key can
-// never meet in a result, so hash-partitioning the sources on that key
-// gives shard-local completeness: N independent plan replicas, each driven
-// by its own engine goroutine over a key-slice of the stream, together
-// deliver exactly the single-engine result multiset. Sources outside the
-// key class broadcast to every shard, and a deterministic k-way merge
-// reassembles the per-shard sink streams into one reproducible output.
 package shard
 
 import (

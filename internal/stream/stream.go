@@ -10,6 +10,11 @@
 //   - a composite is a (partial) join result holding one base tuple per
 //     participating source;
 //   - s is a sub-tuple of t when every component of s also appears in t.
+//
+// The package sits at the bottom of the layering (DESIGN.md §1): every
+// other package speaks in its Time, Value, Tuple and Composite types, and
+// application time is integral milliseconds precisely so that runs are
+// deterministic — no float drift ever reorders two deadlines.
 package stream
 
 import (
