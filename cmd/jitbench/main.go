@@ -37,6 +37,22 @@ func main() {
 	shards := flag.Int("shards", 1, "run every point across key-partitioned engine replicas (scaling mode, not paper-comparable; DESIGN.md §5)")
 	flag.Parse()
 
+	fail := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "jitbench: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	// Validate before running anything: a bad scale or shard count would
+	// otherwise be accepted silently (Scale <= 0 floors every horizon at
+	// 2.5 windows, -size 0 silently means 1) or panic mid-sweep.
+	switch {
+	case *scale <= 0:
+		fail("-scale must be positive (fraction of the paper's 5-hour horizon), got %g", *scale)
+	case *size <= 0 || *size > 1:
+		fail("-size must be in (0,1], got %g", *size)
+	case *shards < 1:
+		fail("-shards must be at least 1, got %d", *shards)
+	}
+
 	cfg := exp.Config{Scale: *scale, SizeScale: *size, Seed: *seed, Indexed: *indexed, Shards: *shards, Modes: exp.DefaultModes()}
 	if *ablation {
 		cfg.Modes = exp.AblationModes()

@@ -23,9 +23,23 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
+	fail := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "jitgen: "+format+"\n", args...)
+		os.Exit(2)
+	}
 	h := stream.Time(*minutes * float64(stream.Minute))
-	if *horizon > 0 {
+	if *horizon != 0 {
 		h = stream.Time(horizon.Milliseconds())
+	}
+	switch {
+	case *n < 2:
+		fail("-n must be at least 2, got %d", *n)
+	case *rate <= 0:
+		fail("-rate must be positive, got %g", *rate)
+	case *dmax < 1:
+		fail("-dmax must be at least 1, got %d", *dmax)
+	case h <= 0:
+		fail("horizon must be positive (got %v)", h)
 	}
 	cat, _ := predicate.Clique(*n)
 	arrivals := source.Generate(cat, source.UniformConfig(*n, *rate, *dmax, h, *seed))

@@ -41,6 +41,19 @@ func main() {
 	check := flag.Bool("check", false, "regenerate and diff against existing artifacts instead of writing; non-zero exit on drift")
 	flag.Parse()
 
+	// A zero seed would silently run as seed 1 (the report.Options default)
+	// while stamping the artifacts with the seed the user thought they set;
+	// an empty -out would scatter artifacts at the filesystem root of the
+	// relative paths. Reject both up front.
+	if *seed == 0 {
+		fmt.Fprintln(os.Stderr, "jitreport: -seed must be non-zero (committed artifacts use 1)")
+		os.Exit(2)
+	}
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "jitreport: -out must not be empty (use . for the repo root)")
+		os.Exit(2)
+	}
+
 	start := time.Now()
 	rep := report.Build(report.Options{Short: *short, Seed: *seed, Progress: os.Stderr})
 	fmt.Fprintf(os.Stderr, "sweep complete in %v\n", time.Since(start).Round(time.Millisecond))

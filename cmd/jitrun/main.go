@@ -27,7 +27,17 @@ func main() {
 	drain := flag.Bool("drain", false, "after the last arrival, keep firing timer deadlines so suspended results still resume or expire (end-of-stream drain, DESIGN.md §4)")
 	drainHorizon := flag.Float64("drain-horizon", 0, "cap the drain at this application time in minutes (0 = last arrival + window)")
 	shards := flag.Int("shards", 1, "run across this many key-partitioned engine replicas (forces drain; DESIGN.md §5)")
+	adapt := flag.Bool("adapt", false, "adaptive re-optimization: migrate between bushy and left-deep mid-run on observed feedback (forces drain; DESIGN.md §7)")
+	adaptEpoch := flag.Float64("adapt-epoch", 0, "re-optimization decision epoch in minutes (0 = one window)")
 	flag.Parse()
+
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	fail := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "jitrun: "+format+"\n", args...)
+		os.Exit(2)
+	}
 
 	var m core.Mode
 	switch *mode {
@@ -40,8 +50,30 @@ func main() {
 	case "bloom":
 		m = core.BloomJIT()
 	default:
-		fmt.Fprintf(os.Stderr, "jitrun: unknown mode %q\n", *mode)
-		os.Exit(2)
+		fail("unknown mode %q (want jit, ref, doe or bloom)", *mode)
+	}
+
+	// Flag-combination checks: both -shards and -adapt force the end-of-
+	// stream drain, so an explicit -drain=false contradicts them — reject
+	// rather than silently overriding the user's choice; when -drain was
+	// simply left unset, print a notice instead.
+	drainForced := *shards > 1 || *adapt
+	if drainForced && explicit["drain"] && !*drain {
+		switch {
+		case *shards > 1:
+			fail("-drain=false contradicts -shards=%d: sharded execution requires the end-of-stream drain (per-shard exact delivery is what makes the shard union equal the single-engine multiset, DESIGN.md §5)", *shards)
+		default:
+			fail("-drain=false contradicts -adapt: the migration handoff requires the end-of-stream drain (DESIGN.md §7)")
+		}
+	}
+	if drainForced && !*drain {
+		fmt.Fprintln(os.Stderr, "jitrun: notice: forcing the end-of-stream drain (required by -shards/-adapt)")
+	}
+	if explicit["adapt-epoch"] && !*adapt {
+		fail("-adapt-epoch has no effect without -adapt")
+	}
+	if explicit["adapt-epoch"] && *adaptEpoch < 0 {
+		fail("-adapt-epoch cannot be negative (minutes; 0 = one window), got %g", *adaptEpoch)
 	}
 
 	p := exp.Params{
@@ -55,16 +87,33 @@ func main() {
 		Mode:    m,
 		Indexed: *indexed,
 		Drain:   *drain,
+		Adapt:   *adapt,
 	}
 	if *drainHorizon > 0 {
 		p.DrainHorizon = stream.Time(*drainHorizon * float64(stream.Minute))
+	} else if *drainHorizon < 0 {
+		fail("-drain-horizon cannot be negative, got %g", *drainHorizon)
 	}
 	if *shards > 1 {
 		p.Shards = *shards
+	} else if *shards < 1 {
+		fail("-shards must be at least 1, got %d", *shards)
+	}
+	if *adaptEpoch > 0 {
+		p.AdaptEpoch = stream.Time(*adaptEpoch * float64(stream.Minute))
+	}
+	if p.Adapt {
+		p.AdaptLog = os.Stdout
+	}
+	if err := p.Validate(); err != nil {
+		fail("%v", err)
+	}
+
+	if p.Shards > 1 {
 		s := p.RunSharded()
 		r := s.Merged
-		fmt.Printf("mode=%s plan=%s N=%d w=%v λ=%.2f dmax=%d horizon=%v shards=%d\n",
-			*mode, planName(*bushy), *n, p.Window, *rate, *dmax, p.Horizon, len(s.Shards))
+		fmt.Printf("mode=%s plan=%s N=%d w=%v λ=%.2f dmax=%d horizon=%v shards=%d adapt=%v\n",
+			*mode, planName(*bushy), *n, p.Window, *rate, *dmax, p.Horizon, len(s.Shards), *adapt)
 		if s.Fallback {
 			fmt.Println("no plan-wide partition key — fell back to a single replica")
 		} else {
@@ -80,8 +129,8 @@ func main() {
 		return
 	}
 	r := p.Run()
-	fmt.Printf("mode=%s plan=%s N=%d w=%v λ=%.2f dmax=%d horizon=%v drain=%v\n",
-		*mode, planName(*bushy), *n, p.Window, *rate, *dmax, p.Horizon, *drain)
+	fmt.Printf("mode=%s plan=%s N=%d w=%v λ=%.2f dmax=%d horizon=%v drain=%v adapt=%v\n",
+		*mode, planName(*bushy), *n, p.Window, *rate, *dmax, p.Horizon, *drain || p.Adapt, *adapt)
 	fmt.Printf("arrivals=%d results=%d cost=%d wall=%v peakMem=%.1fKB\n",
 		r.Arrivals, r.Results, r.CostUnits, r.WallTime, r.PeakMemKB)
 	fmt.Println(r.Counters.String())

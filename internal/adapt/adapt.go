@@ -1,0 +1,508 @@
+// Package adapt implements mid-run plan re-optimization (DESIGN.md §7): the
+// streaming analogue of Eddies' per-tuple routing and MJoin's refusal to
+// commit to one static join order, built on the paper's own premise that
+// just-in-time feedback reveals where join work is being wasted.
+//
+// A Controller watches the plan-wide metrics.Counters and the per-operator
+// feedback counters (core.JoinOp.Stats: MNSDetected, Suspended,
+// SuppressedPairs) over fixed decision epochs. At each epoch boundary it
+// scores the current shape against candidate plan.Node shapes by shadow
+// replay — the epoch's arrivals run through throwaway plans of each shape,
+// measured in the same deterministic cost units as the live run, and charged
+// to Counters.AdaptUnits so adaptive runs carry their decision overhead
+// honestly. When a candidate beats the current shape by the hysteresis
+// margin for Patience consecutive epochs, the controller migrates.
+//
+// # The snapshot cut and the handoff
+//
+// A migration happens at a quiescent cut between arrivals, after the engine
+// has drained the outgoing plan's timer deadlines to the cut time. The §2
+// sequence discipline gives the cut its snapshot: every in-window base tuple
+// sits in exactly one place — its source's feed side, active in the state or
+// parked in a blacklist — so plan.Built.SnapshotInWindow (backed by the
+// core.JoinOp.SnapshotBase / state.State.SnapshotLive hooks) reconstructs
+// the in-window arrival history in global arrival order. Replaying it into a
+// freshly built target plan yields exactly the state that plan would hold
+// had it started one window before the cut; intermediate states, blacklists,
+// MNS buffers and mark tables are re-derived rather than transplanted,
+// because a different shape stores different intermediates. The same
+// snapshot+replay pair is the checkpoint/restore primitive the ROADMAP asks
+// for: a checkpoint is (cut time, snapshot); restore is Rebuild+replay.
+//
+// # Why no result is lost or duplicated
+//
+// The run keeps a single sink across plan instances, fronted by a dedup tap
+// keyed on the canonical result identity (stream.Composite.Key). Exact-once
+// delivery across the handoff follows from exact-delivery mode (required:
+// the engine rejects Reopt without Drain):
+//
+//   - nothing is lost: draining the outgoing plan to the cut delivers every
+//     result whose window closes by the cut; any result still undelivered
+//     has all constituents inside the snapshot window, so the successor plan
+//     regenerates it — live during replay (delivered through the tap) or
+//     suspended, to be delivered by a later resume, sweep or the end-of-run
+//     drain;
+//   - nothing is duplicated: a result the outgoing plan already delivered
+//     and the successor regenerates is absorbed by the tap
+//     (Counters.MigrationDups counts these).
+//
+// Determinism is preserved: the cut point, the snapshot order (tuple IDs are
+// the global arrival sequence), the replay and the scoring are all pure
+// functions of the seeded workload, so two runs of the same configuration
+// migrate at the same instant and deliver byte-identical sink orders.
+package adapt
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/operator"
+	"repro/internal/plan"
+	"repro/internal/stream"
+)
+
+// Config tunes the re-optimization policy.
+type Config struct {
+	// Epoch is the decision-epoch length in application time. Zero disables
+	// the epoch policy (only ForceAt/ForceTo migrations can then fire).
+	Epoch stream.Time
+	// Margin is the hysteresis factor: a candidate wins an epoch only when
+	// currentCost > candidateCost × Margin. Zero means 1.25.
+	Margin float64
+	// Patience is the number of consecutive winning epochs the same
+	// candidate needs before the migration fires. Zero means 2.
+	Patience int
+	// Candidates are the shapes considered. Nil means the bushy and
+	// left-deep shapes of Table II over the plan's source count.
+	Candidates []*plan.Node
+	// MinEpochCost skips scoring for near-idle epochs (observed cost-unit
+	// delta below the threshold). Zero means 1024.
+	MinEpochCost uint64
+	// Rise is the regime-shift trigger: shadow scoring runs only in epochs
+	// where a watched signal layer — the observed cost delta, or the
+	// per-operator feedback-pressure delta (MNSDetected + Suspended +
+	// SuppressedPairs over core.JoinOp.Stats) — exceeds Rise × the previous
+	// epoch's, or while a hysteresis streak is pending. Steady-state epochs
+	// therefore cost no scoring overhead at all — the shape question is
+	// reopened when the observed feedback says the workload changed. Zero
+	// means 1.5; values at or below 1 effectively score every non-idle
+	// epoch.
+	Rise float64
+	// MaxMigrations caps how many migrations a run may perform; zero means
+	// unlimited.
+	MaxMigrations int
+	// Log, when non-nil, receives one line per epoch decision and per
+	// migration.
+	Log io.Writer
+	// ForceAt / ForceTo bypass the policy: migrate unconditionally to
+	// ForceTo at the first arrival with TS >= ForceAt. The migration-
+	// equivalence tests use this to exercise the handoff in modes whose
+	// feedback machinery (and thus the policy's signal) is disabled.
+	ForceAt stream.Time
+	ForceTo *plan.Node
+}
+
+func (c Config) margin() float64 {
+	if c.Margin <= 0 {
+		return 1.25
+	}
+	return c.Margin
+}
+
+func (c Config) patience() int {
+	if c.Patience <= 0 {
+		return 2
+	}
+	return c.Patience
+}
+
+func (c Config) minEpochCost() uint64 {
+	if c.MinEpochCost == 0 {
+		return 1024
+	}
+	return c.MinEpochCost
+}
+
+func (c Config) rise() float64 {
+	if c.Rise <= 0 {
+		return 1.5
+	}
+	return c.Rise
+}
+
+// candidatesFor resolves the candidate set for an n-source plan.
+func (c Config) candidatesFor(n int) []*plan.Node {
+	if c.Candidates != nil {
+		return c.Candidates
+	}
+	return []*plan.Node{plan.Bushy(n), plan.LeftDeep(n)}
+}
+
+// Controller is the engine-facing re-optimizer (engine.Reoptimizer). One
+// controller drives one run; it is not safe for concurrent use — in sharded
+// execution each replica has its own, synchronized through a Coordinator.
+type Controller struct {
+	cfg   Config
+	coord *Coordinator
+
+	b     *plan.Built
+	shape *plan.Node
+	cands []*plan.Node
+	sink  *operator.Sink
+	tap   *tap
+
+	started   bool
+	nextEpoch stream.Time
+	epochBuf  []*stream.Tuple
+	lastCost  uint64
+	lastStats []metrics.OpStats
+	// prevObserved / prevPressure are the previous epoch's observed cost
+	// delta and per-operator feedback-pressure delta (summed MNSDetected +
+	// Suspended + SuppressedPairs), the regime-shift baselines; noBaseline
+	// marks the first epoch, which only establishes them.
+	prevObserved uint64
+	prevPressure uint64
+	noBaseline   bool
+	wins         int
+	winner       string
+	pending      *plan.Node
+	migrations   int
+	forced       bool
+}
+
+// New creates a self-deciding controller (single-engine runs).
+func New(cfg Config) *Controller { return &Controller{cfg: cfg} }
+
+// NewCoordinated creates a controller whose epoch decisions are made
+// fleet-wide by the coordinator; local epoch boundaries are ignored and the
+// shard runner's barrier markers drive AtBarrier instead.
+func NewCoordinated(cfg Config, coord *Coordinator) *Controller {
+	return &Controller{cfg: cfg, coord: coord}
+}
+
+// Attach implements engine.Reoptimizer: it binds the controller to the
+// run's initial plan and splices the dedup tap between the plan root and
+// the sink, so every delivery of the run is recorded from the first arrival
+// on. The tap's seen-set grows with the run's final-result count — the
+// price of exactly-once delivery across handoffs.
+func (c *Controller) Attach(b *plan.Built) {
+	c.b = b
+	c.shape = b.Shape()
+	c.sink = b.Sink
+	c.cands = c.cfg.candidatesFor(b.Catalog.NumSources())
+	c.tap = &tap{sink: b.Sink, seen: make(map[string]bool), ctr: b.Counters}
+	b.RootJoin().SetConsumer(c.tap, operator.Left)
+	c.lastCost = b.Counters.CostUnits()
+	c.noBaseline = true
+	c.snapStats()
+}
+
+// Decide implements engine.Reoptimizer: it accumulates the epoch's arrival
+// buffer, runs the epoch evaluation at boundaries (uncoordinated mode), and
+// reports whether a migration is due at this arrival's timestamp.
+func (c *Controller) Decide(t *stream.Tuple, b *plan.Built) bool {
+	if !c.started {
+		c.started = true
+		c.nextEpoch = t.TS + c.cfg.Epoch
+	}
+	if c.cfg.ForceTo != nil && !c.forced && t.TS >= c.cfg.ForceAt {
+		c.forced = true
+		if c.cfg.ForceTo.Canonical() != c.shape.Canonical() {
+			c.pending = c.cfg.ForceTo
+		}
+	}
+	if c.pending == nil && c.coord == nil && c.cfg.Epoch > 0 && t.TS >= c.nextEpoch {
+		c.evaluateEpoch(t.TS)
+		for c.nextEpoch <= t.TS {
+			c.nextEpoch += c.cfg.Epoch
+		}
+	}
+	// The epoch buffer feeds shadow scoring and is trimmed at each epoch
+	// close (resetEpoch); with the epoch policy disabled (Epoch 0,
+	// ForceTo-only mode) nothing would ever trim it, so don't retain at all.
+	if c.cfg.Epoch > 0 {
+		c.epochBuf = append(c.epochBuf, t)
+	}
+	return c.pending != nil
+}
+
+// AtBarrier is called by the shard runner's replica source when it reaches
+// an epoch-barrier marker: the replica applies the same steady-state gate
+// as the single-engine path (first epoch establishes the baseline; scoring
+// runs only on a Rise-factor cost jump, or while the fleet's hysteresis
+// streak is open), exchanges its observation — with shadow scores only when
+// the gate opened — through the coordinator (blocking until every live
+// replica has arrived), and adopts the fleet-wide decision, to be applied
+// at its next arrival. The coordinator only decides on rounds where every
+// replica scored, so partially-gated rounds cost little and skew nothing.
+// No-op on uncoordinated controllers.
+func (c *Controller) AtBarrier() {
+	if c.coord == nil || c.b == nil {
+		return
+	}
+	observed := c.b.Counters.CostUnits() - c.lastCost
+	var scores map[string]uint64
+	// The idle gate mirrors the single-engine path: a near-idle replica
+	// neither scores nor lets the fleet decide this round (the coordinator
+	// requires every replica's scores, so a chronically idle shard —
+	// extreme key skew — conservatively holds migrations; its signal would
+	// be meaningless anyway).
+	if observed >= c.cfg.minEpochCost() && (c.reopened(observed) || c.coord.StreakOpen()) {
+		scores = c.scoreShapes()
+	} else if observed < c.cfg.minEpochCost() {
+		c.reopened(observed) // advance the baselines regardless
+	}
+	if target := c.coord.Exchange(observed, scores); target != nil &&
+		target.Canonical() != c.shape.Canonical() {
+		c.pending = target
+	}
+	c.resetEpoch()
+}
+
+// Leave deregisters the replica from the coordinator's barriers at
+// end-of-stream. No-op on uncoordinated controllers.
+func (c *Controller) Leave() {
+	if c.coord != nil {
+		c.coord.Leave()
+	}
+}
+
+// Migrate implements engine.Reoptimizer: snapshot the outgoing plan at the
+// cut, rebuild under the target shape, replay the snapshot through the
+// dedup tap, and hand the merged measurement substrate to the successor.
+func (c *Controller) Migrate(cut stream.Time, b *plan.Built) *plan.Built {
+	target := c.pending
+	c.pending = nil
+	if target == nil {
+		return nil
+	}
+	if c.cfg.MaxMigrations > 0 && c.migrations >= c.cfg.MaxMigrations {
+		return nil
+	}
+	snap := b.SnapshotInWindow(cut)
+	nb := b.Rebuild(target)
+	for _, j := range nb.Joins {
+		j.SetExact(true)
+	}
+	// The run's one sink spans the handoff; the successor's own sink is
+	// discarded before anything reaches it.
+	nb.Sink = c.sink
+	nb.RootJoin().SetConsumer(c.tap, operator.Left)
+	// Both plans are resident while the snapshot replays: charge the
+	// outgoing plan's live bytes to the successor's account for the span of
+	// the replay, and absorb the old high-water mark.
+	oldLive := b.Account.Live()
+	nb.Account.Alloc(oldLive)
+	n := nb.Catalog.NumSources()
+	for _, t := range snap {
+		nb.Counters.Sweeps += uint64(len(nb.Joins))
+		nb.Sweep(t.TS)
+		f := nb.Feeds[t.Source]
+		f.Op.Consume(stream.NewComposite(n, t), f.Port)
+	}
+	nb.Account.Free(oldLive)
+	nb.Account.AbsorbPeak(b.Account)
+	nb.Counters.Add(b.Counters)
+	nb.Counters.Migrations++
+	c.sink.SetCounters(nb.Counters)
+	c.tap.ctr = nb.Counters
+	c.logf("adapt: t=%v migrate %s -> %s (replayed %d in-window arrivals, %d dups absorbed so far)",
+		cut, c.shape.Canonical(), target.Canonical(), len(snap), nb.Counters.MigrationDups)
+	c.shape = target
+	c.b = nb
+	c.migrations++
+	c.lastCost = nb.Counters.CostUnits()
+	c.noBaseline = true // the successor re-baselines its steady state
+	c.snapStats()
+	return nb
+}
+
+// evaluateEpoch closes one decision epoch (uncoordinated mode): read the
+// observed counter deltas, decide whether the feedback justifies reopening
+// the shape question, shadow-score the shapes, apply margin+patience.
+func (c *Controller) evaluateEpoch(now stream.Time) {
+	observed := c.b.Counters.CostUnits() - c.lastCost
+	mns, susp, suppr := c.statDeltas()
+	prev := c.prevObserved
+	if observed < c.cfg.minEpochCost() {
+		c.prevObserved, c.prevPressure, c.noBaseline = observed, mns+susp+suppr, false
+		c.logf("adapt: epoch t=%v idle (cost=%d mns=%d susp=%d suppressed=%d) — skip scoring",
+			now, observed, mns, susp, suppr)
+		c.wins, c.winner = 0, ""
+		c.resetEpoch()
+		return
+	}
+	// Regime-shift gate: in steady state the shape question stays closed and
+	// epochs cost nothing. Scoring reopens when either watched signal layer
+	// jumps (Rise ×) against the previous epoch — the observed cost, or the
+	// per-operator feedback pressure — and stays open while a hysteresis
+	// streak is pending. The first epoch only establishes the baselines.
+	if !c.reopened(observed) && c.wins == 0 {
+		c.logf("adapt: epoch t=%v steady (cost=%d prev=%d mns=%d susp=%d suppressed=%d) — keep %s",
+			now, observed, prev, mns, susp, suppr, c.shape.Canonical())
+		c.resetEpoch()
+		return
+	}
+	scores := c.scoreShapes()
+	curr := scores[c.shape.Canonical()]
+	var best *plan.Node
+	var bestCost uint64
+	for _, cand := range c.cands {
+		k := cand.Canonical()
+		if k == c.shape.Canonical() {
+			continue
+		}
+		if s, ok := scores[k]; ok && (best == nil || s < bestCost) {
+			best, bestCost = cand, s
+		}
+	}
+	if best != nil && float64(curr) > float64(bestCost)*c.cfg.margin() {
+		if c.winner == best.Canonical() {
+			c.wins++
+		} else {
+			c.winner, c.wins = best.Canonical(), 1
+		}
+	} else {
+		c.wins, c.winner = 0, ""
+	}
+	c.logf("adapt: epoch t=%v cost=%d mns=%d susp=%d suppressed=%d scores=%s wins=%d/%d",
+		now, observed, mns, susp, suppr, renderScores(scores), c.wins, c.cfg.patience())
+	if c.wins >= c.cfg.patience() &&
+		(c.cfg.MaxMigrations == 0 || c.migrations < c.cfg.MaxMigrations) {
+		c.pending = best
+		c.wins, c.winner = 0, ""
+	}
+	c.resetEpoch()
+}
+
+// scoreShapes shadow-replays the epoch's arrivals through a throwaway plan
+// of every distinct shape (current first, then candidates) and returns the
+// cost units each accrued, charging the total to Counters.AdaptUnits.
+//
+// The shadows run in REF mode regardless of the live mode: a shape's score
+// is its intrinsic join work on the slice — which intermediates it
+// manufactures and drags through probes. Scoring with the feedback
+// machinery on would be circular (a shadow plan starts empty, so its very
+// first inputs meet empty states and Ø-suspend the whole pipeline,
+// flattening every shape to noise), whereas the REF score is exactly the
+// production the live mode's suppression then fights; minimizing it helps
+// REF and JIT alike.
+func (c *Controller) scoreShapes() map[string]uint64 {
+	opts := c.b.Opt()
+	opts.KeepResults = false
+	opts.Mode = core.REF()
+	out := make(map[string]uint64, 1+len(c.cands))
+	for _, sh := range append([]*plan.Node{c.shape}, c.cands...) {
+		k := sh.Canonical()
+		if _, done := out[k]; done {
+			continue
+		}
+		sb := plan.BuildTree(c.b.Catalog, c.b.Preds(), sh, opts)
+		n := sb.Catalog.NumSources()
+		for _, t := range c.epochBuf {
+			sb.Sweep(t.TS)
+			f := sb.Feeds[t.Source]
+			f.Op.Consume(stream.NewComposite(n, t), f.Port)
+		}
+		out[k] = sb.Counters.CostUnits()
+		c.b.Counters.AdaptUnits += sb.Counters.CostUnits()
+	}
+	return out
+}
+
+// reopened applies the regime-shift gate for one epoch close: it compares
+// the epoch's two watched signal layers — the observed cost delta and the
+// per-operator feedback-pressure delta (summed MNSDetected + Suspended +
+// SuppressedPairs over core.JoinOp.Stats) — against the previous epoch's
+// baselines, updates the baselines, and reports whether either jumped by
+// the Rise factor. The first epoch only establishes the baselines. At most
+// one call per epoch close (baselines advance on every call).
+func (c *Controller) reopened(observed uint64) bool {
+	mns, susp, suppr := c.statDeltas()
+	pressure := mns + susp + suppr
+	prevCost, prevPressure, first := c.prevObserved, c.prevPressure, c.noBaseline
+	c.prevObserved, c.prevPressure, c.noBaseline = observed, pressure, false
+	if first {
+		return false
+	}
+	rise := c.cfg.rise()
+	return float64(observed) > rise*float64(prevCost) ||
+		(pressure > 0 && float64(pressure) > rise*float64(prevPressure))
+}
+
+// resetEpoch starts the next observation epoch from the current totals.
+func (c *Controller) resetEpoch() {
+	c.epochBuf = c.epochBuf[:0]
+	c.lastCost = c.b.Counters.CostUnits()
+	c.snapStats()
+}
+
+// snapStats snapshots the per-operator feedback counters of the current
+// plan, the baseline the next epoch's deltas are computed against.
+func (c *Controller) snapStats() {
+	c.lastStats = c.lastStats[:0]
+	for _, j := range c.b.Joins {
+		c.lastStats = append(c.lastStats, j.Stats())
+	}
+}
+
+// statDeltas sums the per-operator feedback deltas since the last epoch.
+func (c *Controller) statDeltas() (mns, susp, suppr uint64) {
+	for i, j := range c.b.Joins {
+		var prev metrics.OpStats
+		if i < len(c.lastStats) {
+			prev = c.lastStats[i]
+		}
+		d := j.Stats().Delta(prev)
+		mns += d.MNSDetected
+		susp += d.Suspended
+		suppr += d.SuppressedPairs
+	}
+	return
+}
+
+func (c *Controller) logf(format string, args ...interface{}) {
+	if c.cfg.Log != nil {
+		fmt.Fprintf(c.cfg.Log, format+"\n", args...)
+	}
+}
+
+// renderScores formats a score map with sorted keys, for deterministic logs.
+func renderScores(scores map[string]uint64) string {
+	keys := make([]string, 0, len(scores))
+	for k := range scores {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := "{"
+	for i, k := range keys {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s:%d", k, scores[k])
+	}
+	return s + "}"
+}
+
+// tap is the migration dedup filter: the single delivery gate the run's
+// plans share. A composite whose canonical key was already delivered is
+// absorbed (a replay regeneration); everything else passes to the sink.
+type tap struct {
+	sink operator.Consumer
+	seen map[string]bool
+	ctr  *metrics.Counters
+}
+
+// Consume implements operator.Consumer.
+func (t *tap) Consume(c *stream.Composite, p operator.Port) {
+	k := c.Key()
+	if t.seen[k] {
+		t.ctr.MigrationDups++
+		return
+	}
+	t.seen[k] = true
+	t.sink.Consume(c, p)
+}

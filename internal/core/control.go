@@ -256,7 +256,6 @@ func (j *JoinOp) resumeTypeI(s *side, m *feedback.MNS, out *[]*stream.Composite)
 	}
 	if e, ok := s.black.Take(m.Key()); ok {
 		j.reactivate(s, e, out)
-	} else {
 	}
 }
 

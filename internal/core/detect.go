@@ -96,6 +96,7 @@ func (j *JoinOp) reportMNS(f *probeFrame, s, o *side, det *detectCtx) {
 		return
 	}
 	j.ctr.MNSDetected += uint64(len(mnses))
+	j.stats.MNSDetected += uint64(len(mnses))
 	for _, m := range mnses {
 		s.buf.Add(m)
 	}
@@ -202,7 +203,6 @@ func (j *JoinOp) bloomInsert(s *side, c *stream.Composite) {
 // bloomNoteDeletes records purges against the side's filters, rebuilding
 // them from the live state when stale bits accumulate.
 func (j *JoinOp) bloomNoteDeletes(s *side, n int) {
-	o := j.in[s.port.Opposite()]
 	for a, flt := range s.blooms {
 		for i := 0; i < n; i++ {
 			flt.NoteDelete()
@@ -220,7 +220,6 @@ func (j *JoinOp) bloomNoteDeletes(s *side, n int) {
 		j.ctr.BloomChecks += uint64(len(vals))
 		flt.Rebuild(vals)
 	}
-	_ = o
 }
 
 // registerMarks enrolls a freshly stored tuple in any origin mark entry it

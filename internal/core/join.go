@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/bloom"
 	"repro/internal/feedback"
@@ -102,6 +103,11 @@ type JoinOp struct {
 
 	consumer operator.Consumer
 	outPort  operator.Port
+
+	// stats mirrors the feedback-relevant counters per operator (the shared
+	// ctr aggregates plan-wide): the adaptive re-optimizer reads these deltas
+	// each epoch to see where the current shape wastes work (DESIGN.md §7).
+	stats metrics.OpStats
 
 	in     [2]*side
 	marks  *feedback.MarkTable
@@ -222,6 +228,48 @@ func (j *JoinOp) Side(p operator.Port) (*state.State, *feedback.Blacklist, *feed
 // Marks exposes the mark table for white-box tests.
 func (j *JoinOp) Marks() *feedback.MarkTable { return j.marks }
 
+// Stats returns the operator's own feedback counters — the per-operator
+// slice of the plan-wide metrics.Counters that the adaptive re-optimizer
+// watches over decision epochs (DESIGN.md §7).
+func (j *JoinOp) Stats() metrics.OpStats { return j.stats }
+
+// SnapshotBase exports the base tuples a source-fed side still holds inside
+// the window at the cut — active state entries plus blacklist-parked tuples
+// — in ascending sequence order. This is the operator half of the §2
+// snapshot cut (DESIGN.md §7): between arrivals, every in-window base tuple
+// of a source sits either in its feed side's state or parked in that side's
+// blacklist, so the union over a plan's feed ports reconstructs the exact
+// in-window arrival history a successor plan (or a restored checkpoint)
+// must replay. Panics if the side is not source-fed (its composites would
+// be intermediates, which a different plan shape cannot adopt).
+func (j *JoinOp) SnapshotBase(p operator.Port, cut stream.Time) []*stream.Tuple {
+	s := j.in[p]
+	if s.prod != nil {
+		panic(fmt.Sprintf("core: SnapshotBase on non-leaf port %v of %s", p, j.name))
+	}
+	var out []*stream.Tuple
+	add := func(c *stream.Composite) {
+		if c.MinTS+j.window <= cut {
+			return // expired at the cut; a purge would drop it
+		}
+		ids := c.Sources.IDs()
+		if len(ids) != 1 {
+			panic(fmt.Sprintf("core: composite %v on leaf port of %s", c.Sources, j.name))
+		}
+		out = append(out, c.Comp(ids[0]))
+	}
+	for _, e := range s.st.SnapshotLive(cut, j.window) {
+		add(e.C)
+	}
+	for _, entry := range s.black.Entries() {
+		for i := range entry.Tuples {
+			add(entry.Tuples[i].E.C)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
 // Consume implements operator.Consumer: the Process_Input procedure of
 // Fig. 6, preceded by the blacklist fast path (diversion of arrivals whose
 // signature is already suspended, Sec. IV-B).
@@ -246,6 +294,7 @@ func (j *JoinOp) Consume(c *stream.Composite, port operator.Port) {
 			seq := s.seq.Next()
 			s.black.Park(e, feedback.Suspended{E: state.Entry{C: c, Seq: seq}, Cursor: 0})
 			j.ctr.Suspended++
+			j.stats.Suspended++
 			return
 		}
 	}
@@ -317,6 +366,7 @@ func (j *JoinOp) activate(a activation) {
 		if e != nil {
 			s.black.Park(e, feedback.Suspended{E: state.Entry{C: a.c, Seq: a.seq}, Cursor: 0})
 			j.ctr.Suspended++
+			j.stats.Suspended++
 			diverted = true
 		}
 	}
@@ -427,6 +477,7 @@ func (j *JoinOp) probeInsert(a activation, s, o *side) {
 				E: state.Entry{C: a.c, Seq: a.seq}, Cursor: cursor, Pending: pending,
 			})
 			j.ctr.Suspended++
+			j.stats.Suspended++
 			f.parked = true
 		}
 	}
@@ -459,6 +510,7 @@ func (j *JoinOp) divert(c *stream.Composite, port operator.Port) bool {
 	seq := s.seq.Next()
 	s.black.Park(e, feedback.Suspended{E: state.Entry{C: c, Seq: seq}, Cursor: 0})
 	j.ctr.Suspended++
+	j.stats.Suspended++
 	return true
 }
 
@@ -504,6 +556,7 @@ const (
 // ProbeNext re-reads the index on every call.
 func (j *JoinOp) probeState(f *probeFrame, s, o *side, det *detectCtx, collect *[]*stream.Composite, fresh bool) {
 	j.ctr.Probes++
+	j.stats.Probes++
 	if len(s.key) > 0 && o.st.Indexed() {
 		if h, ok := s.key.Hash(f.input); ok {
 			start := f.lastPartner
@@ -753,6 +806,7 @@ func (j *JoinOp) joinPair(f *probeFrame, s *side, e state.Entry, det *detectCtx,
 		// bookkeeping the baseline detection scan performs, so the
 		// observation pass that may follow can record nothing.
 		j.ctr.SuppressedPairs++
+		j.stats.SuppressedPairs++
 		j.recordSuppressed(f, e, suppressedID)
 		return false
 	}
@@ -766,6 +820,7 @@ func (j *JoinOp) joinPair(f *probeFrame, s *side, e state.Entry, det *detectCtx,
 	}
 	if suppressedID != 0 {
 		j.ctr.SuppressedPairs++
+		j.stats.SuppressedPairs++
 		j.recordSuppressed(f, e, suppressedID)
 		return false
 	}

@@ -80,9 +80,3 @@ func (m Mode) enabled() bool { return m.Detect != DetectNone }
 // Trace, when non-nil, receives debug events from join operators. Used only
 // by tests chasing protocol issues; nil in production.
 var Trace func(format string, args ...interface{})
-
-func tracef(format string, args ...interface{}) {
-	if Trace != nil {
-		Trace(format, args...)
-	}
-}

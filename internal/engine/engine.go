@@ -75,6 +75,28 @@ type Options struct {
 	// baseline for the sweep-scheduling benchmarks. Results and counters
 	// other than Sweeps are identical either way (DESIGN.md §4).
 	SweepEveryArrival bool
+	// Reopt, when non-nil, lets an adaptive re-optimizer (internal/adapt)
+	// migrate the plan mid-run (DESIGN.md §7). Requires Drain: the handoff's
+	// lossless-delivery argument rests on exact-delivery recovery.
+	Reopt Reoptimizer
+}
+
+// Reoptimizer is the engine's hook for mid-run plan migration (DESIGN.md
+// §7). The engine consults it between the deadline firings and the
+// processing of each arrival, so a migration always happens at a quiescent
+// cut: no probe is in flight and every deadline at or before the cut has
+// fired on the outgoing plan before Migrate is called.
+type Reoptimizer interface {
+	// Attach is called once at run start with the initial plan, before any
+	// arrival is processed.
+	Attach(b *plan.Built)
+	// Decide observes one arrival before it is processed and reports
+	// whether the engine should migrate now, at cut time t.TS.
+	Decide(t *stream.Tuple, b *plan.Built) bool
+	// Migrate builds, state-transfers and returns the successor plan; the
+	// engine has already drained b's timer deadlines to the cut. A nil
+	// return keeps the current plan.
+	Migrate(cut stream.Time, b *plan.Built) *plan.Built
 }
 
 // Engine executes one plan over one arrival sequence.
@@ -96,6 +118,9 @@ func New(b *plan.Built) *Engine { return NewWithOptions(b, Options{}) }
 // Drain the operators keep the paper prototype's drop-at-expiry semantics,
 // bit-identical to the historical engine.
 func NewWithOptions(b *plan.Built, o Options) *Engine {
+	if o.Reopt != nil && !o.Drain {
+		panic("engine: Reopt requires Drain — the migration handoff relies on exact-delivery recovery (DESIGN.md §7)")
+	}
 	for _, j := range b.Joins {
 		j.SetExact(o.Drain)
 	}
@@ -142,6 +167,9 @@ func (e *Engine) RunStream(next func() (*stream.Tuple, bool)) Result {
 	start := time.Now()
 	n := b.Catalog.NumSources()
 	sched := newScheduler(b.Joins)
+	if e.opts.Reopt != nil {
+		e.opts.Reopt.Attach(b)
+	}
 	arrivals := 0
 	lastTS := stream.Time(0)
 	for {
@@ -151,6 +179,27 @@ func (e *Engine) RunStream(next func() (*stream.Tuple, bool)) Result {
 		}
 		arrivals++
 		lastTS = t.TS
+		if e.opts.Reopt != nil && e.opts.Reopt.Decide(t, b) {
+			// Quiesce the outgoing plan to the cut: fire every timer deadline
+			// at or before t.TS (cascades included, via the drain loop), so
+			// each result whose window closes by the cut is delivered by the
+			// plan that formed it. Whatever is still suspended afterwards has
+			// its whole constituent set inside the snapshot window, and the
+			// successor plan regenerates it from the replay (DESIGN.md §7).
+			if e.opts.SweepEveryArrival {
+				sched.refresh()
+			}
+			sched.drain(t.TS, b.Counters)
+			if nb := e.opts.Reopt.Migrate(t.TS, b); nb != nil {
+				b = nb
+				e.built = nb
+				for _, j := range nb.Joins {
+					j.SetExact(e.opts.Drain)
+				}
+				sched = newScheduler(b.Joins)
+				sched.refresh()
+			}
+		}
 		if e.opts.SweepEveryArrival {
 			b.Counters.Sweeps += uint64(len(b.Joins))
 			b.Sweep(t.TS)

@@ -30,6 +30,7 @@ import (
 	"math"
 	"strings"
 
+	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/plan"
@@ -78,6 +79,55 @@ type Params struct {
 	// duplication. Drain is forced on — per-shard exact delivery is what
 	// makes the shard union equal the single-engine multiset.
 	Shards int
+	// Adapt runs the engine under adaptive re-optimization (internal/adapt,
+	// DESIGN.md §7): the plan may migrate between the bushy and left-deep
+	// shapes mid-run on observed feedback. Drain is forced on — the
+	// migration handoff requires exact delivery. In sharded runs the
+	// replicas migrate in lockstep at epoch barriers.
+	Adapt bool
+	// AdaptEpoch is the decision-epoch length; zero means one window.
+	AdaptEpoch stream.Time
+	// AdaptLog, when non-nil, receives the re-optimizer's epoch decisions
+	// and migration announcements.
+	AdaptLog io.Writer
+}
+
+// Validate rejects configurations the engine would otherwise accept
+// silently or fail on obscurely; the CLI front-ends (jitrun, jitbench)
+// surface the returned error before running anything.
+func (p Params) Validate() error {
+	switch {
+	case p.N < 2:
+		return fmt.Errorf("need at least 2 sources (N=%d)", p.N)
+	case p.Rate <= 0:
+		return fmt.Errorf("arrival rate must be positive (rate=%g)", p.Rate)
+	case p.Window <= 0:
+		return fmt.Errorf("window must be positive (window=%v)", p.Window)
+	case p.DMax < 1:
+		return fmt.Errorf("value domain must be at least 1 (dmax=%d)", p.DMax)
+	case p.Horizon <= 0:
+		return fmt.Errorf("horizon must be positive (horizon=%v)", p.Horizon)
+	case p.Shards < 0:
+		return fmt.Errorf("shard count cannot be negative (shards=%d)", p.Shards)
+	case p.DrainHorizon < 0:
+		return fmt.Errorf("drain horizon cannot be negative (%v)", p.DrainHorizon)
+	case p.DrainHorizon > 0 && !p.Drain && p.Shards <= 1 && !p.Adapt:
+		return fmt.Errorf("drain horizon set but the drain is off (enable -drain)")
+	case p.AdaptEpoch < 0:
+		return fmt.Errorf("adapt epoch cannot be negative (%v)", p.AdaptEpoch)
+	case p.AdaptEpoch > 0 && !p.Adapt:
+		return fmt.Errorf("adapt epoch set but adaptation is off (enable -adapt)")
+	}
+	return nil
+}
+
+// adaptConfig resolves the re-optimizer configuration for the run.
+func (p Params) adaptConfig() adapt.Config {
+	epoch := p.AdaptEpoch
+	if epoch == 0 {
+		epoch = p.Window
+	}
+	return adapt.Config{Epoch: epoch, Log: p.AdaptLog}
 }
 
 // Run executes the configuration and returns the measured results. The
@@ -93,9 +143,15 @@ func (p Params) Run() engine.Result {
 		return p.RunSharded().Merged
 	}
 	cat, cfg, b := p.build()
-	eng := engine.NewWithOptions(b, engine.Options{
-		Drain: p.Drain, Horizon: p.DrainHorizon,
-	})
+	opts := engine.Options{Drain: p.Drain, Horizon: p.DrainHorizon}
+	if p.Adapt {
+		// Adaptive execution implies the drain: the migration handoff's
+		// lossless-delivery argument rests on exact-delivery mode (§7).
+		opts.Drain = true
+		c := p.adaptConfig()
+		opts.Reopt = adapt.New(c)
+	}
+	eng := engine.NewWithOptions(b, opts)
 	return eng.RunStream(source.Stream(cat, cfg))
 }
 
@@ -107,10 +163,15 @@ func (p Params) Run() engine.Result {
 // shards equal the single-engine result multiset.
 func (p Params) RunSharded() shard.Result {
 	cat, cfg, b := p.build()
-	runner := shard.New(b, shard.Options{
+	opts := shard.Options{
 		Shards: p.Shards,
 		Engine: engine.Options{Drain: true, Horizon: p.DrainHorizon},
-	})
+	}
+	if p.Adapt {
+		c := p.adaptConfig()
+		opts.Adapt = &c
+	}
+	runner := shard.New(b, opts)
 	return runner.RunStream(source.Stream(cat, cfg))
 }
 

@@ -50,6 +50,19 @@ type Counters struct {
 	// heap exists to drive this toward the number of sweeps that actually
 	// have work to do (DESIGN.md §4).
 	Sweeps uint64
+	// Migrations counts mid-run plan-shape migrations performed by the
+	// adaptive re-optimizer (internal/adapt, DESIGN.md §7). The replay work a
+	// migration performs is charged through the ordinary counters above.
+	Migrations uint64
+	// AdaptUnits is the cost (in CostUnits terms) of the re-optimizer's
+	// shadow scoring: the throwaway candidate-plan replays run at each
+	// decision epoch. Charged into CostUnits so adaptive runs carry their
+	// own decision overhead honestly.
+	AdaptUnits uint64
+	// MigrationDups counts deliveries suppressed by the migration dedup tap:
+	// results the successor plan regenerated during replay (or re-delivered
+	// after it) that the run had already emitted (DESIGN.md §7).
+	MigrationDups uint64
 }
 
 // Add accumulates o into c.
@@ -70,6 +83,9 @@ func (c *Counters) Add(o *Counters) {
 	c.SuppressedPairs += o.SuppressedPairs
 	c.QueueOps += o.QueueOps
 	c.Sweeps += o.Sweeps
+	c.Migrations += o.Migrations
+	c.AdaptUnits += o.AdaptUnits
+	c.MigrationDups += o.MigrationDups
 }
 
 // CostUnits collapses the counters into a single deterministic work figure.
@@ -88,7 +104,8 @@ func (c *Counters) CostUnits() uint64 {
 		c.Suspended*4 +
 		c.Resumed*4 +
 		c.CatchUpJoins*1 +
-		c.QueueOps*1
+		c.QueueOps*1 +
+		c.AdaptUnits*1
 }
 
 // String renders a compact multi-line report.
@@ -99,7 +116,36 @@ func (c *Counters) String() string {
 	fmt.Fprintf(&b, "lattice=%d bloom=%d mns=%d fb=%d susp=%d res=%d catchup=%d suppressed=%d sweeps=%d cost=%d",
 		c.LatticeNodes, c.BloomChecks, c.MNSDetected, c.Feedbacks, c.Suspended,
 		c.Resumed, c.CatchUpJoins, c.SuppressedPairs, c.Sweeps, c.CostUnits())
+	if c.Migrations > 0 || c.AdaptUnits > 0 {
+		fmt.Fprintf(&b, "\nmigrations=%d adaptUnits=%d migrationDups=%d",
+			c.Migrations, c.AdaptUnits, c.MigrationDups)
+	}
 	return b.String()
+}
+
+// OpStats are the per-operator mirrors of the feedback counters the adaptive
+// re-optimizer watches (internal/adapt, DESIGN.md §7): where MNSs are being
+// detected, tuples suspended and pairs suppressed tells the epoch policy
+// which part of the plan shape is paying for its position.
+type OpStats struct {
+	// Probes counts state probes initiated at this operator.
+	Probes uint64
+	// MNSDetected counts MNSs this operator reported as a consumer.
+	MNSDetected uint64
+	// Suspended counts tuples this operator moved into its blacklists.
+	Suspended uint64
+	// SuppressedPairs counts probe pairs this operator skipped under marks.
+	SuppressedPairs uint64
+}
+
+// Delta returns the component-wise difference s - prev.
+func (s OpStats) Delta(prev OpStats) OpStats {
+	return OpStats{
+		Probes:          s.Probes - prev.Probes,
+		MNSDetected:     s.MNSDetected - prev.MNSDetected,
+		Suspended:       s.Suspended - prev.Suspended,
+		SuppressedPairs: s.SuppressedPairs - prev.SuppressedPairs,
+	}
 }
 
 // Account tracks live bytes attributed to stored stream data (operator
@@ -139,3 +185,13 @@ func (a *Account) PeakKB() float64 { return float64(a.peak) / 1024 }
 
 // Reset clears both live and peak figures.
 func (a *Account) Reset() { a.live, a.peak = 0, 0 }
+
+// AbsorbPeak raises the peak to at least o's peak. Used when accounting
+// responsibility transfers between accounts mid-run — a plan migration hands
+// the measurement substrate to the successor plan's account, and the run's
+// true high-water mark is the maximum over both lifetimes (DESIGN.md §7).
+func (a *Account) AbsorbPeak(o *Account) {
+	if o.peak > a.peak {
+		a.peak = o.peak
+	}
+}

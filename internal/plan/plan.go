@@ -5,6 +5,7 @@ package plan
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/core"
@@ -45,6 +46,18 @@ func (n *Node) Render(cat *stream.Catalog) string {
 		return cat.Source(n.Source).Name
 	}
 	return "(" + n.Left.Render(cat) + " " + n.Right.Render(cat) + ")"
+}
+
+// Canonical renders the shape catalog-free, over source ids — a stable
+// identity usable as a map key, e.g. "((0 1) 2)". The adaptive
+// re-optimizer keys candidate shapes and migration decisions on it
+// (internal/adapt), including across shard replicas whose plans are
+// distinct object graphs of the same shape.
+func (n *Node) Canonical() string {
+	if n.IsLeaf() {
+		return fmt.Sprintf("%d", n.Source)
+	}
+	return "(" + n.Left.Canonical() + " " + n.Right.Canonical() + ")"
 }
 
 // LeftDeep builds the left-deep shape of Table II: (((A B) C) D) ...
@@ -169,6 +182,50 @@ func (b *Built) Shape() *Node { return b.shape }
 
 // Preds returns the query conjunction the plan was built from.
 func (b *Built) Preds() predicate.Conj { return b.preds }
+
+// Opt returns the options the plan was built with. Shadow scoring
+// (internal/adapt) derives candidate-plan options from them.
+func (b *Built) Opt() Options { return b.opt }
+
+// Rebuild constructs a fresh plan over the same catalog, predicates and
+// options but a different shape — the successor plan of a mid-run migration
+// (internal/adapt, DESIGN.md §7). Like Replicate it shares no mutable state
+// with b.
+func (b *Built) Rebuild(shape *Node) *Built {
+	return BuildTree(b.Catalog, b.preds, shape, b.opt)
+}
+
+// RootJoin returns the root operator as its concrete join type (the root of
+// a wired plan is always a join; BuildTree enforces it). Callers that
+// re-route the plan's output — the migration dedup tap — need SetConsumer,
+// which the operator.Op interface does not expose.
+func (b *Built) RootJoin() *core.JoinOp { return b.Root.(*core.JoinOp) }
+
+// SnapshotInWindow exports every base tuple still inside the window at the
+// cut, in global arrival order — the plan-level §2 snapshot cut (DESIGN.md
+// §7). Between arrivals, each in-window base tuple sits in exactly one
+// place: its source's feed side, either active in the state or parked in a
+// blacklist (core.JoinOp.SnapshotBase). Tuple IDs are assigned in global
+// delivery order by the source merge, so ordering by (TS, ID, Source)
+// reconstructs the original interleaving exactly; replaying the snapshot
+// into a freshly built plan yields the state that plan would hold had it
+// been started one window before the cut.
+func (b *Built) SnapshotInWindow(cut stream.Time) []*stream.Tuple {
+	var out []*stream.Tuple
+	for _, f := range b.Feeds {
+		out = append(out, f.Op.(*core.JoinOp).SnapshotBase(f.Port, cut)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TS != out[j].TS {
+			return out[i].TS < out[j].TS
+		}
+		if out[i].ID != out[j].ID {
+			return out[i].ID < out[j].ID
+		}
+		return out[i].Source < out[j].Source
+	})
+	return out
+}
 
 // Replicate builds a fresh plan identical to b — same catalog, predicates,
 // shape and options, but new operators, counters, account and sink, sharing

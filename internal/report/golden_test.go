@@ -70,7 +70,7 @@ func TestReportInvariants(t *testing.T) {
 		t.Fatalf("want 8 figures, got %d", len(rep.Figures))
 	}
 	for i, fig := range rep.Figures {
-		if len(fig.Points) != len(ShortXs(rep.Specs[i].Xs)) {
+		if len(fig.Points) != len(ShortXs(rep.Specs[i])) {
 			t.Errorf("%s: %d points", fig.ID, len(fig.Points))
 		}
 	}

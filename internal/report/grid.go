@@ -39,7 +39,7 @@ func Grid(specs []exp.Spec, modes []exp.NamedMode, short bool) []Cell {
 	for _, s := range specs {
 		xs := s.Xs
 		if short {
-			xs = ShortXs(xs)
+			xs = ShortXs(s)
 		}
 		for _, x := range xs {
 			for _, nm := range modes {
@@ -61,11 +61,16 @@ func dedupe(cells []Cell) []Cell {
 	return out
 }
 
-// ShortXs subsets a figure's x-grid for the short preset: the first,
-// middle and last points — enough to show the trend's direction and its
-// endpoints while cutting the sweep's cost. Grids of three or fewer points
-// are returned unchanged (the slice is reused, never mutated).
-func ShortXs(xs []float64) []float64 {
+// ShortXs subsets a figure's x-grid for the short preset: the spec's own
+// override when set, else the first, middle and last points — enough to
+// show the trend's direction and its endpoints while cutting the sweep's
+// cost. Grids of three or fewer points are returned unchanged (the slice
+// is reused, never mutated).
+func ShortXs(s exp.Spec) []float64 {
+	if s.ShortXs != nil {
+		return s.ShortXs
+	}
+	xs := s.Xs
 	if len(xs) <= 3 {
 		return xs
 	}
@@ -73,11 +78,19 @@ func ShortXs(xs []float64) []float64 {
 }
 
 // shortSizes returns the (window, domain) scale pair of the short preset
-// for one figure — see the package documentation for why the two plan
+// for one figure: the spec's per-figure override when set, else the
+// per-shape default — see the package documentation for why the two plan
 // shapes scale differently.
 func shortSizes(s exp.Spec) (sizeScale, domainScale float64) {
+	sizeScale, domainScale = 0.3, math.Sqrt(0.3)
 	if s.LeftDeep {
-		return 0.5, 0.5
+		sizeScale, domainScale = 0.5, 0.5
 	}
-	return 0.3, math.Sqrt(0.3)
+	if s.ShortSizeScale > 0 {
+		sizeScale = s.ShortSizeScale
+	}
+	if s.ShortDomainScale > 0 {
+		domainScale = s.ShortDomainScale
+	}
+	return sizeScale, domainScale
 }

@@ -98,7 +98,7 @@ func Build(o Options) *Report {
 	for _, s := range specs {
 		xs := s.Xs
 		if o.Short {
-			xs = ShortXs(xs)
+			xs = ShortXs(s)
 		}
 		start := time.Now()
 		r.Figures = append(r.Figures, s.RunXs(o.ConfigFor(s), xs))

@@ -1,9 +1,11 @@
 package shard
 
 import (
+	"io"
 	"sync"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/plan"
@@ -22,6 +24,14 @@ type Options struct {
 	Engine engine.Options
 	// BufferSize is the per-shard dispatch channel depth; zero means 256.
 	BufferSize int
+	// Adapt, when non-nil, runs the fleet under adaptive re-optimization
+	// (internal/adapt, DESIGN.md §7) with lockstep migrations: the
+	// dispatcher broadcasts an epoch-barrier marker into every replica
+	// channel when the global stream crosses an epoch boundary, the
+	// replicas exchange their local shadow scores through one coordinator
+	// at the barrier, and all adopt the same fleet-wide shape decision.
+	// Drain is forced on (the migration handoff requires exact delivery).
+	Adapt *adapt.Config
 }
 
 // Result is the outcome of a sharded run.
@@ -114,17 +124,49 @@ func (r *Runner) Run(arrivals []*stream.Tuple) Result {
 // per-shard input sequence is a pure function of the stream and the key,
 // each replica is the deterministic single-threaded engine, and the merge
 // order is defined below — goroutine scheduling cannot affect any output.
+//
+// Under Options.Adapt the same loop additionally broadcasts an epoch-
+// barrier marker (a nil tuple) into EVERY replica channel the moment the
+// global stream first crosses an epoch boundary — before any post-boundary
+// tuple — so each replica, draining its channel in order, reaches barrier
+// k after exactly its slice of epoch k. At the barrier the replica blocks
+// in the adapt.Coordinator until every live replica has reported; the
+// fleet-wide decision is a pure function of the summed scores, and each
+// replica applies it at its next local arrival via its own snapshot+replay
+// handoff (DESIGN.md §7). Liveness: a replica waiting at a barrier has an
+// empty channel prefix only behind other replicas' unconsumed input, which
+// those replicas drain without needing the dispatcher; the dispatcher may
+// block on a full channel, but never while a marker it already enqueued is
+// needed to release anyone.
 func (r *Runner) RunStream(next func() (*stream.Tuple, bool)) Result {
 	n := r.shards
 	buf := r.opt.BufferSize
 	if buf <= 0 {
 		buf = 256
 	}
+	var cfg adapt.Config
+	var coord *adapt.Coordinator
+	var ctrls []*adapt.Controller
+	if r.opt.Adapt != nil {
+		cfg = *r.opt.Adapt
+		if cfg.Log != nil {
+			// The replicas' controllers log from their own goroutines;
+			// serialize writes so lines never interleave mid-write. The
+			// cross-replica line ORDER remains scheduling-dependent — only
+			// the log; every measured output is deterministic.
+			cfg.Log = &lockedWriter{w: cfg.Log}
+		}
+		coord = adapt.NewCoordinator(n, r.base.Shape(), r.base.Catalog.NumSources(), cfg)
+		ctrls = make([]*adapt.Controller, n)
+	}
 	replicas := make([]*plan.Built, n)
 	chans := make([]chan *stream.Tuple, n)
 	for i := range replicas {
 		replicas[i] = r.base.Replicate()
 		chans[i] = make(chan *stream.Tuple, buf)
+		if coord != nil {
+			ctrls[i] = adapt.NewCoordinated(cfg, coord)
+		}
 	}
 
 	start := time.Now()
@@ -134,16 +176,49 @@ func (r *Runner) RunStream(next func() (*stream.Tuple, bool)) Result {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			eng := engine.NewWithOptions(replicas[i], r.opt.Engine)
-			shardRes[i] = eng.RunStream(engine.ChanSource(chans[i]))
+			o := r.opt.Engine
+			src := engine.ChanSource(chans[i])
+			if coord != nil {
+				o.Drain = true // the migration handoff requires exact delivery
+				o.Reopt = ctrls[i]
+				src = func() (*stream.Tuple, bool) {
+					for t := range chans[i] {
+						if t == nil {
+							ctrls[i].AtBarrier()
+							continue
+						}
+						return t, true
+					}
+					ctrls[i].Leave()
+					return nil, false
+				}
+			}
+			eng := engine.NewWithOptions(replicas[i], o)
+			shardRes[i] = eng.RunStream(src)
 		}(i)
 	}
 
 	res := Result{Key: r.key, Fallback: !r.keyed}
+	started := false
+	var nextBarrier stream.Time
 	for {
 		t, ok := next()
 		if !ok {
 			break
+		}
+		if coord != nil && cfg.Epoch > 0 {
+			if !started {
+				started = true
+				nextBarrier = t.TS + cfg.Epoch
+			}
+			if t.TS >= nextBarrier {
+				for _, ch := range chans {
+					ch <- nil // barrier marker, before any post-boundary tuple
+				}
+				for nextBarrier <= t.TS {
+					nextBarrier += cfg.Epoch
+				}
+			}
 		}
 		if n == 1 {
 			res.Routed++
@@ -165,12 +240,30 @@ func (r *Runner) RunStream(next func() (*stream.Tuple, bool)) Result {
 		close(ch)
 	}
 	wg.Wait()
-	wall := time.Since(start)
+	r.merge(&res, replicas, shardRes, time.Since(start))
+	return res
+}
 
+// lockedWriter serializes the adaptive controllers' log writes across
+// replica goroutines.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
+
+// merge assembles the per-shard results into the deterministic fleet
+// result (the merge-order contract of DESIGN.md §5).
+func (r *Runner) merge(res *Result, replicas []*plan.Built, shardRes []engine.Result, wall time.Duration) {
 	res.Shards = shardRes
 	merged := engine.Result{WallTime: wall}
 	var ctr metrics.Counters
-	logs := make([][]*stream.Composite, n)
+	logs := make([][]*stream.Composite, len(shardRes))
 	for i := range shardRes {
 		sr := &shardRes[i]
 		merged.Results += sr.Results
@@ -184,7 +277,6 @@ func (r *Runner) RunStream(next func() (*stream.Tuple, bool)) Result {
 	merged.CostUnits = ctr.CostUnits()
 	res.Merged = merged
 	res.Deliveries = mergeDeliveries(logs)
-	return res
 }
 
 // mergeDeliveries k-way merges the per-shard sink streams into one

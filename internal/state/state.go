@@ -428,6 +428,21 @@ func (s *State) Entries() []Entry {
 	return append([]Entry(nil), s.entries...)
 }
 
+// SnapshotLive exports the entries still inside the window at the given cut
+// time, in arrival order — the state half of the §2 snapshot cut (DESIGN.md
+// §7): a checkpoint or plan migration taken between arrivals needs exactly
+// the composites a purge at the cut would keep, and nothing a purge would
+// drop. The returned slice is a copy; the composites are shared.
+func (s *State) SnapshotLive(cut, window stream.Time) []Entry {
+	var out []Entry
+	for _, e := range s.entries {
+		if e.C.MinTS+window > cut {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
 // Version returns the mutation counter. Probe loops snapshot it and, when it
 // changes mid-scan (a feedback removed or added entries re-entrantly),
 // re-synchronize via IndexAfter on the last processed sequence number.
