@@ -1,6 +1,8 @@
 // Command jitreport regenerates the evaluation artifacts: RESULTS.md (the
 // generated results document comparing the reproduced Figures 10–17
-// against the paper's reported trends), RESULTS.json (the machine-readable
+// against the paper's reported trends, plus the beyond-the-paper
+// appendices — sharded scaling, adaptive re-optimization, and the hostile
+// stream scenarios of DESIGN.md §8), RESULTS.json (the machine-readable
 // record) and results/figNN.svg (per-figure trend plots).
 //
 // Usage:

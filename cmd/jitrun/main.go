@@ -8,6 +8,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/exp"
@@ -29,6 +30,11 @@ func main() {
 	shards := flag.Int("shards", 1, "run across this many key-partitioned engine replicas (forces drain; DESIGN.md §5)")
 	adapt := flag.Bool("adapt", false, "adaptive re-optimization: migrate between bushy and left-deep mid-run on observed feedback (forces drain; DESIGN.md §7)")
 	adaptEpoch := flag.Float64("adapt-epoch", 0, "re-optimization decision epoch in minutes (0 = one window)")
+	zipf := flag.Float64("zipf", 0, "Zipf-skew value domains with this exponent (> 1; 0 = uniform; DESIGN.md §8)")
+	burst := flag.Float64("burst", 0, "burst factor: multiply each source's rate by this during the first half of every burst period (> 1; 0 = stationary)")
+	burstPeriod := flag.Float64("burst-period", 0, "burst cycle length in minutes (0 = one window)")
+	disorder := flag.Float64("disorder", 0, "deliver the stream out of timestamp order with delays up to this many seconds; the engine's watermark admits them exactly (DESIGN.md §8)")
+	band := flag.Int64("band", 0, "replace every equi-join predicate with the band predicate |l-r| <= band (defeats hash keying and key sharding; DESIGN.md §8)")
 	flag.Parse()
 
 	explicit := map[string]bool{}
@@ -102,6 +108,19 @@ func main() {
 	if *adaptEpoch > 0 {
 		p.AdaptEpoch = stream.Time(*adaptEpoch * float64(stream.Minute))
 	}
+	p.Zipf = *zipf
+	p.Burst = *burst
+	if *burstPeriod > 0 {
+		p.BurstPeriod = stream.Time(*burstPeriod * float64(stream.Minute))
+	} else if *burstPeriod < 0 {
+		fail("-burst-period cannot be negative, got %g", *burstPeriod)
+	}
+	if *disorder > 0 {
+		p.Disorder = stream.Time(*disorder * float64(stream.Second))
+	} else if *disorder < 0 {
+		fail("-disorder cannot be negative, got %g", *disorder)
+	}
+	p.Band = stream.Value(*band)
 	if p.Adapt {
 		p.AdaptLog = os.Stdout
 	}
@@ -114,6 +133,9 @@ func main() {
 		r := s.Merged
 		fmt.Printf("mode=%s plan=%s N=%d w=%v λ=%.2f dmax=%d horizon=%v shards=%d adapt=%v\n",
 			*mode, planName(*bushy), *n, p.Window, *rate, *dmax, p.Horizon, len(s.Shards), *adapt)
+		if h := hostileDesc(p); h != "" {
+			fmt.Println(h)
+		}
 		if s.Fallback {
 			fmt.Println("no plan-wide partition key — fell back to a single replica")
 		} else {
@@ -131,6 +153,9 @@ func main() {
 	r := p.Run()
 	fmt.Printf("mode=%s plan=%s N=%d w=%v λ=%.2f dmax=%d horizon=%v drain=%v adapt=%v\n",
 		*mode, planName(*bushy), *n, p.Window, *rate, *dmax, p.Horizon, *drain || p.Adapt, *adapt)
+	if h := hostileDesc(p); h != "" {
+		fmt.Println(h)
+	}
 	fmt.Printf("arrivals=%d results=%d cost=%d wall=%v peakMem=%.1fKB\n",
 		r.Arrivals, r.Results, r.CostUnits, r.WallTime, r.PeakMemKB)
 	fmt.Println(r.Counters.String())
@@ -141,4 +166,30 @@ func planName(bushy bool) string {
 		return "bushy"
 	}
 	return "left-deep"
+}
+
+// hostileDesc summarizes the active hostile-stream mutators, or "" when the
+// run uses the paper's friendly traffic.
+func hostileDesc(p exp.Params) string {
+	var parts []string
+	if p.Zipf > 1 {
+		parts = append(parts, fmt.Sprintf("zipf=%.2f", p.Zipf))
+	}
+	if p.Burst > 1 {
+		period := "1w"
+		if p.BurstPeriod > 0 {
+			period = p.BurstPeriod.String()
+		}
+		parts = append(parts, fmt.Sprintf("burst=%.1fx/%s", p.Burst, period))
+	}
+	if p.Disorder > 0 {
+		parts = append(parts, fmt.Sprintf("disorder<=%v", p.Disorder))
+	}
+	if p.Band > 0 {
+		parts = append(parts, fmt.Sprintf("band=±%d", p.Band))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "hostile: " + strings.Join(parts, " ")
 }

@@ -1,0 +1,73 @@
+// Hostile-stream overhead benchmarks (DESIGN.md §8): the scenario
+// harness's full-size mutator stacks run one JIT engine each, plus the
+// band-vs-equi degradation pair. Two questions, measured not argued:
+//
+//   - What does each mutator cost? Every Suite(false) scenario runs the
+//     same N=4 clique family (leaner streams where the mutator multiplies
+//     selectivity), so cost-units and wall time are comparable across
+//     stacks and against the baseline control.
+//   - What does losing the equi-key cost? The band pair runs the same
+//     stream twice with hash-indexed states: once equi (hash probes, key
+//     extraction) and once with ±2 band predicates (keying defeated,
+//     linear scans over every state). The cost-units ratio is the
+//     measured degradation the fallback path pays.
+//
+// Results are recorded in BENCH_hostile.json; TestHostileStreamEquivalence
+// (internal/scenario) pins that every configuration here delivers the
+// REF baseline's exact final multiset.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/exp"
+	"repro/internal/scenario"
+)
+
+// benchParams runs the configuration once per iteration and reports the
+// totals as custom metrics.
+func benchParams(b *testing.B, p exp.Params) {
+	b.ReportAllocs()
+	var r engine.Result
+	for i := 0; i < b.N; i++ {
+		r = p.Run()
+	}
+	b.ReportMetric(float64(r.Results), "results")
+	b.ReportMetric(float64(r.CostUnits), "cost-units")
+	b.ReportMetric(float64(r.Counters.LateDropped), "late-dropped")
+}
+
+// BenchmarkHostileScenarios measures each full-size mutator stack under
+// JIT on a single engine.
+func BenchmarkHostileScenarios(b *testing.B) {
+	for _, sc := range scenario.Suite(false) {
+		b.Run(sc.Name, func(b *testing.B) {
+			p := sc.Apply(scenario.Base(false))
+			p.Mode = core.JIT()
+			benchParams(b, p)
+		})
+	}
+}
+
+// BenchmarkHostileBandVsEqui measures the non-equi degradation: the same
+// workload with hash-indexed states, equi predicates (keyed hash probes)
+// versus ±2 band predicates (keying defeated, linear probe fallback).
+// The band run widens the domain 5× so the per-predicate match
+// probability — and with it the result volume — stays comparable; the
+// remaining cost-units gap is the price of scanning instead of hashing.
+func BenchmarkHostileBandVsEqui(b *testing.B) {
+	base := scenario.Base(false)
+	base.Mode = core.JIT()
+	base.Indexed = true
+	b.Run("equi-indexed", func(b *testing.B) {
+		benchParams(b, base)
+	})
+	b.Run("band-linear", func(b *testing.B) {
+		p := base
+		p.Band = 2
+		p.DMax = 5 * base.DMax
+		benchParams(b, p)
+	})
+}

@@ -145,42 +145,51 @@ func TestAdaptiveEquivalence(t *testing.T) {
 
 // TestMigrationEquivalence forces a bushy→left-deep migration mid-window on
 // the dense 4-way clique workload and checks the handoff is lossless and
-// duplicate-free in all four modes across three seeds: the migrated run's
-// final multiset must equal the pure left-deep run's (which, drained, also
-// equals the pure bushy run's — finals are shape-independent under exact
-// delivery).
+// duplicate-free: the migrated run's final multiset must equal the pure
+// left-deep run's (which, drained, also equals the pure bushy run's —
+// finals are shape-independent under exact delivery). The full suite sweeps
+// all four modes across three seeds on both the indexed and the scan-only
+// state layout (the cut must rebuild hash indexes and replay scan cursors
+// alike); -short, mirroring jitreport's preset, keeps one seed, the JIT/REF
+// pair, and the default indexed layout.
 func TestMigrationEquivalence(t *testing.T) {
 	cat, conj := predicate.Clique(4)
-	build := func(shape *plan.Node, mode core.Mode) *plan.Built {
+	build := func(shape *plan.Node, mode core.Mode, noIdx bool) *plan.Built {
 		return plan.BuildTree(cat, conj, shape, plan.Options{
-			Window: 90 * stream.Second, Mode: mode, KeepResults: true, NoStateIndex: true,
+			Window: 90 * stream.Second, Mode: mode, KeepResults: true, NoStateIndex: noIdx,
 		})
 	}
-	seeds := int64(3)
+	seeds, modes := int64(3), allModes
+	layouts := []struct {
+		name  string
+		noIdx bool
+	}{{"indexed", false}, {"scan", true}}
 	if testing.Short() {
-		seeds = 1 // the full seed sweep runs in the nightly job
+		seeds, modes, layouts = 1, allModes[:2], layouts[:1]
 	}
 	for seed := int64(1); seed <= seeds; seed++ {
 		cfg := source.UniformConfig(4, 3.0, 30, 225*stream.Second+1, seed)
 		arrivals := source.Generate(cat, cfg)
-		for _, m := range allModes {
-			pure := build(plan.LeftDeep(4), m.mode)
-			pureRes := runDrained(pure, arrivals, nil)
+		for _, lay := range layouts {
+			for _, m := range modes {
+				pure := build(plan.LeftDeep(4), m.mode, lay.noIdx)
+				pureRes := runDrained(pure, arrivals, nil)
 
-			migrated := build(plan.Bushy(4), m.mode)
-			ctrl := adapt.New(adapt.Config{
-				ForceAt: 112 * stream.Second, // mid-window: the cut splits live state
-				ForceTo: plan.LeftDeep(4),
-			})
-			migRes := runDrained(migrated, arrivals, ctrl)
+				migrated := build(plan.Bushy(4), m.mode, lay.noIdx)
+				ctrl := adapt.New(adapt.Config{
+					ForceAt: 112 * stream.Second, // mid-window: the cut splits live state
+					ForceTo: plan.LeftDeep(4),
+				})
+				migRes := runDrained(migrated, arrivals, ctrl)
 
-			if migRes.Counters.Migrations != 1 {
-				t.Fatalf("seed %d %s: %d migrations, want 1", seed, m.name, migRes.Counters.Migrations)
+				if migRes.Counters.Migrations != 1 {
+					t.Fatalf("seed %d %s/%s: %d migrations, want 1", seed, m.name, lay.name, migRes.Counters.Migrations)
+				}
+				if pureRes.Results == 0 {
+					t.Fatalf("seed %d %s/%s: workload delivered no finals — test has no teeth", seed, m.name, lay.name)
+				}
+				sameMultiset(t, m.name+"/"+lay.name, sortedKeys(migrated), sortedKeys(pure))
 			}
-			if pureRes.Results == 0 {
-				t.Fatalf("seed %d %s: workload delivered no finals — test has no teeth", seed, m.name)
-			}
-			sameMultiset(t, m.name, sortedKeys(migrated), sortedKeys(pure))
 		}
 	}
 }

@@ -291,6 +291,7 @@ func (j *JoinOp) reactivate(s *side, e *feedback.Entry, out *[]*stream.Composite
 			continue // expired while suspended; its results were never demanded
 		}
 		j.ctr.Resumed++
+		ephemeral := susp.E.C.MinTS+j.window <= j.now
 		j.activate(activation{
 			c:         susp.E.C,
 			port:      s.port,
@@ -301,8 +302,15 @@ func (j *JoinOp) reactivate(s *side, e *feedback.Entry, out *[]*stream.Composite
 			collect:   out,
 			done:      susp.Done,
 			pending:   susp.Pending,
-			ephemeral: susp.E.C.MinTS+j.window <= j.now,
+			ephemeral: ephemeral,
 		})
+		if ephemeral && j.exact {
+			// An ephemeral recovery vanishes from the live structures, but a
+			// later recovery emission on the opposite side may still form a
+			// REF-valid pair with it — retire it to the graveyard, like a
+			// state entry purged at window close (probeGrave).
+			s.retire(state.Entry{C: susp.E.C, Seq: susp.E.Seq})
+		}
 	}
 }
 
@@ -497,6 +505,10 @@ func (j *JoinOp) sweepExact() {
 				pending:   susp.Pending,
 				ephemeral: true,
 			})
+			// Retire the tuple to the graveyard (see reactivate): its own
+			// catch-up is complete, but it can still be the partner of a
+			// late recovery emission on the opposite side.
+			s.retire(state.Entry{C: susp.E.C, Seq: susp.E.Seq})
 			for _, r := range out {
 				j.emit(r)
 			}

@@ -110,6 +110,13 @@ func (j *JoinOp) reportMNS(f *probeFrame, s, o *side, det *detectCtx) {
 // sources, the value signature over the consumer's join attributes, the
 // crossing predicates (for buffer probing), the anchor sub-tuple, and the
 // expiry (when the anchor's oldest component leaves the window).
+//
+// Atoms whose crossing predicates include a band predicate (Tol != 0) are
+// never reported: the MNS buffer reactivates on exact opposite-value
+// matches (feedback.Buffer.Probe), which would miss a within-band partner
+// and leave the suspension permanent — so band joins simply run without
+// signature feedback on those atoms (DESIGN.md §8). The empty MNS Ø is
+// unaffected (it reactivates on any opposite arrival).
 func (j *JoinOp) buildMNS(c *stream.Composite, s, o *side, mask uint32) *feedback.MNS {
 	var srcSet stream.SourceSet
 	var preds predicate.Conj
@@ -123,6 +130,11 @@ func (j *JoinOp) buildMNS(c *stream.Composite, s, o *side, mask uint32) *feedbac
 			return nil
 		}
 		srcSet = srcSet.Add(src)
+		for _, p := range s.atomPreds[k] {
+			if p.IsBand() {
+				return nil
+			}
+		}
 		preds = append(preds, s.atomPreds[k]...)
 		if comp.TS < minTS {
 			minTS = comp.TS
@@ -154,6 +166,12 @@ func (j *JoinOp) bloomAtomAbsent(c *stream.Composite, s, o *side, k int) bool {
 		return false
 	}
 	for _, p := range s.atomPreds[k] {
+		if p.IsBand() {
+			// A filter proving the exact value absent proves nothing about
+			// within-band partners; band predicates contribute no absence
+			// evidence (DESIGN.md §8).
+			continue
+		}
 		var inAttr, opAttr predicate.Attr
 		if s.sources.Has(p.Left) {
 			inAttr = predicate.Attr{Source: p.Left, Col: p.LCol}

@@ -40,6 +40,8 @@ func sameSequence(t *testing.T, label string, want, got []string) {
 // TestIndexedEquivalentToScan is invariant 4 of DESIGN.md §2 applied to the
 // state index: for every execution mode, an indexed run delivers exactly
 // the same results in exactly the same sink order as a scan-only run.
+// -short keeps one seed and the REF/JIT pair (the jitreport short preset);
+// the DOE/Bloom ablations run in the full suite.
 func TestIndexedEquivalentToScan(t *testing.T) {
 	modes := []struct {
 		name string
@@ -51,6 +53,7 @@ func TestIndexedEquivalentToScan(t *testing.T) {
 	seeds := []int64{1, 2, 3}
 	if testing.Short() {
 		seeds = seeds[:1]
+		modes = modes[:2]
 	}
 	for _, bushy := range []bool{true, false} {
 		cat, conj := predicate.Clique(4)

@@ -69,6 +69,39 @@ type side struct {
 	// Bloom filters over THIS side's state values, keyed by attribute;
 	// queried when detecting MNSs on the opposite side's inputs.
 	blooms map[predicate.Attr]*bloom.Filter
+	// Exact-mode graveyard: entries purged from st, retained because a
+	// late recovery emission (an upstream resumption's catch-up result)
+	// may still form pairs REF formed live with them. Only inputs with
+	// TS < now scan it — an in-order arrival fails pairValid against
+	// every retired entry by construction. Nil outside exact mode.
+	// graveIdx buckets entries by equi-key hash so probeGrave scans one
+	// bucket instead of the whole yard (mirroring the live state index);
+	// graveNoKey lists entries whose key doesn't hash (scanned on every
+	// probe, like unindexed live entries); graveSeq resolves a parked
+	// pending sequence to its entry in O(1) for the probePending fallback.
+	grave      []state.Entry
+	graveIdx   map[uint64][]int32
+	graveNoKey []int32
+	graveSeq   map[uint64]int32
+}
+
+// retire moves a tuple leaving the live structures into the exact-mode
+// graveyard, maintaining the hash-bucket and sequence indexes.
+func (s *side) retire(e state.Entry) {
+	i := int32(len(s.grave))
+	s.grave = append(s.grave, e)
+	if s.graveSeq == nil {
+		s.graveSeq = make(map[uint64]int32)
+		s.graveIdx = make(map[uint64][]int32)
+	}
+	s.graveSeq[e.Seq] = i
+	if len(s.key) > 0 {
+		if h, ok := s.key.Hash(e.C); ok {
+			s.graveIdx[h] = append(s.graveIdx[h], i)
+			return
+		}
+	}
+	s.graveNoKey = append(s.graveNoKey, i)
 }
 
 // probeFrame tracks one in-progress probe so that re-entrant suspension
@@ -436,6 +469,9 @@ func (j *JoinOp) probeInsert(a activation, s, o *side) {
 	if len(a.pending) > 0 && !f.parked {
 		j.probePending(f, o, a.pending, a.collect)
 	}
+	if j.exact && !f.parked && len(o.grave) > 0 && a.c.TS < j.now {
+		j.probeGrave(f, o, a.cursor, a.collect)
+	}
 	if a.reuse && !f.parked {
 		// A reactivation can happen re-entrantly while an opposite input is
 		// mid-probe (a resumption cascade triggered from that input's own
@@ -730,12 +766,14 @@ func (j *JoinOp) probePending(f *probeFrame, o *side, pending []uint64, collect 
 			}
 		}
 		// Then in the blacklists.
+		found := false
 		for _, entry := range o.black.Entries() {
 			for k := range entry.Tuples {
 				susp := &entry.Tuples[k]
 				if susp.E.Seq != seq {
 					continue
 				}
+				found = true
 				if susp.IsDone(f.seq) || (!j.exact && susp.E.C.MinTS+j.window <= j.now) {
 					break
 				}
@@ -745,6 +783,79 @@ func (j *JoinOp) probePending(f *probeFrame, o *side, pending []uint64, collect 
 				}
 				break
 			}
+			if found {
+				break
+			}
+		}
+		// Finally the graveyard: in exact mode the partner may have been
+		// retired from the state while this tuple was parked; pairValid
+		// inside joinPair decides whether REF formed the pair.
+		if !found && j.exact {
+			if i, ok := o.graveSeq[seq]; ok {
+				j.ctr.CatchUpJoins++
+				j.joinPair(f, j.in[f.port], o.grave[i], nil, collect, false, phaseFull)
+			}
+		}
+	}
+}
+
+// probeGrave joins an exact-mode late input against partners already purged
+// from the opposite state (DESIGN.md §4). A composite released by an
+// upstream resumption arrives after the operator clock has moved on; the
+// partners REF joined it with live may have expired here in the meantime.
+// Only inputs with TS < now reach this scan (an in-order arrival fails
+// pairValid against every retired entry, since retirement implies
+// MinTS + window <= now <= input.TS), and pairValid inside joinPair admits
+// exactly the pairs REF formed. Sequences at or below the park-time cursor
+// are covered by the live probe or the pending list and are skipped.
+func (j *JoinOp) probeGrave(f *probeFrame, o *side, cursor uint64, collect *[]*stream.Composite) {
+	s := j.in[f.port]
+	try := func(e state.Entry) bool {
+		if f.parked {
+			return false
+		}
+		if e.Seq <= cursor {
+			return true
+		}
+		if !j.pairValid(f.input, e.C) {
+			return true // REF never formed this pair; not recovery work
+		}
+		if f.done != nil && f.done[e.Seq] {
+			return true
+		}
+		j.ctr.CatchUpJoins++
+		j.joinPair(f, s, e, nil, collect, false, phaseFull)
+		return true
+	}
+	// Mirror the indexed live probe's bucket filter: a keyed input scans
+	// only its own hash bucket plus the unhashable entries — exactly the
+	// set the flat scan would keep after the per-entry key comparison —
+	// merged by grave index to preserve retirement order.
+	inHash, inKeyed := uint64(0), false
+	if len(s.key) > 0 {
+		inHash, inKeyed = s.key.Hash(f.input)
+	}
+	if inKeyed {
+		bucket, nokey := o.graveIdx[inHash], o.graveNoKey
+		bi, ni := 0, 0
+		for bi < len(bucket) || ni < len(nokey) {
+			var i int32
+			if ni >= len(nokey) || (bi < len(bucket) && bucket[bi] < nokey[ni]) {
+				i = bucket[bi]
+				bi++
+			} else {
+				i = nokey[ni]
+				ni++
+			}
+			if !try(o.grave[i]) {
+				return
+			}
+		}
+		return
+	}
+	for i := range o.grave {
+		if !try(o.grave[i]) {
+			return
 		}
 	}
 }
@@ -881,7 +992,17 @@ func (j *JoinOp) evalAtoms(c *stream.Composite, s *side, v *stream.Composite, de
 func (j *JoinOp) purge() {
 	for p := 0; p < 2; p++ {
 		s := j.in[p]
-		purged := s.st.Purge(j.now, j.window)
+		var purged int
+		if j.exact {
+			// Retire rather than drop: a parked tuple elsewhere in the plan
+			// can still release a late composite whose REF-valid partners
+			// expired here first. The graveyard keeps them reachable for
+			// probeGrave (memory is unbounded by the window, but exact mode
+			// only runs on drained, horizon-bounded streams).
+			purged = s.st.PurgeRetired(j.now, j.window, s.retire)
+		} else {
+			purged = s.st.Purge(j.now, j.window)
+		}
 		j.ctr.Purged += uint64(purged)
 		if purged > 0 && s.blooms != nil {
 			j.bloomNoteDeletes(s, purged)

@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/plan"
+	"repro/internal/predicate"
+	"repro/internal/source"
+	"repro/internal/stream"
+)
+
+// disorderWorkload is the dense ROADMAP workload with a perturbed twin:
+// the same arrivals once in timestamp order and once delivered out of
+// order with delays up to the bound.
+func disorderWorkload(t *testing.T, bound stream.Time) (*stream.Catalog, predicate.Conj, []*stream.Tuple, []*stream.Tuple) {
+	t.Helper()
+	rate, horizon := 8.0, 3*stream.Minute
+	if testing.Short() {
+		rate, horizon = 4, 2*stream.Minute
+	}
+	cat, conj := predicate.Clique(4)
+	cfg := source.UniformConfig(4, rate, 100, horizon, 1)
+	inOrder := source.Generate(cat, cfg)
+	cfg.Disorder = bound
+	perturbed := source.Generate(cat, cfg)
+	if len(perturbed) != len(inOrder) {
+		t.Fatalf("perturbation changed arrival count: %d vs %d", len(perturbed), len(inOrder))
+	}
+	return cat, conj, inOrder, perturbed
+}
+
+func runDisordered(cat *stream.Catalog, conj predicate.Conj, arrivals []*stream.Tuple, mode core.Mode, disorder stream.Time) (Result, []string) {
+	b := plan.BuildTree(cat, conj, plan.Bushy(4), plan.Options{
+		Window: 2 * stream.Minute, Mode: mode, KeepResults: true,
+	})
+	r := NewWithOptions(b, Options{Drain: true, Disorder: disorder}).Run(arrivals)
+	return r, b.Sink.ResultKeys()
+}
+
+// TestDisorderExactEquivalence pins the watermark discipline's headline
+// guarantee (DESIGN.md §8): a stream delivered out of order within the
+// bound, run under Options.Disorder with that bound, produces the exact
+// final sequence of the in-order run — order included, not just the
+// multiset — with nothing late-dropped, in every mode.
+func TestDisorderExactEquivalence(t *testing.T) {
+	const bound = 15 * stream.Second
+	cat, conj, inOrder, perturbed := disorderWorkload(t, bound)
+	modes := []struct {
+		name string
+		mode core.Mode
+	}{
+		{"REF", core.REF()},
+		{"JIT", core.JIT()},
+		{"DOE", core.DOE()},
+		{"Bloom", core.BloomJIT()},
+	}
+	if testing.Short() {
+		modes = modes[:2]
+	}
+	for _, m := range modes {
+		t.Run(m.name, func(t *testing.T) {
+			want, wantKeys := runDisordered(cat, conj, inOrder, m.mode, 0)
+			got, gotKeys := runDisordered(cat, conj, perturbed, m.mode, bound)
+			if got.Counters.LateDropped != 0 {
+				t.Fatalf("dropped %d tuples though disorder <= bound", got.Counters.LateDropped)
+			}
+			if got.Arrivals != want.Arrivals {
+				t.Fatalf("arrivals %d vs in-order %d", got.Arrivals, want.Arrivals)
+			}
+			if got.Results != want.Results {
+				t.Fatalf("%d finals vs in-order %d", got.Results, want.Results)
+			}
+			if got.CostUnits != want.CostUnits {
+				t.Fatalf("cost %d vs in-order %d — the restored stream is not bit-identical", got.CostUnits, want.CostUnits)
+			}
+			if len(gotKeys) != len(wantKeys) {
+				t.Fatalf("delivery count %d vs %d", len(gotKeys), len(wantKeys))
+			}
+			for i := range wantKeys {
+				if gotKeys[i] != wantKeys[i] {
+					t.Fatalf("delivery %d differs: %s vs %s", i, gotKeys[i], wantKeys[i])
+				}
+			}
+		})
+	}
+}
+
+// TestDisorderBeyondBoundConservation pins the other half of the
+// contract: when the stream's disorder exceeds the engine's bound, late
+// tuples are dropped and counted — processed plus dropped equals ingested,
+// nothing vanishes silently.
+func TestDisorderBeyondBoundConservation(t *testing.T) {
+	cat, conj, _, perturbed := disorderWorkload(t, 20*stream.Second)
+	const engineBound = 2 * stream.Second // far below the stream's 20s disorder
+	r, _ := runDisordered(cat, conj, perturbed, core.REF(), engineBound)
+	if r.Counters.LateDropped == 0 {
+		t.Fatal("expected late drops with engine bound below the stream's disorder")
+	}
+	if got := uint64(r.Arrivals) + r.Counters.LateDropped; got != uint64(len(perturbed)) {
+		t.Fatalf("conservation violated: processed %d + dropped %d = %d, ingested %d",
+			r.Arrivals, r.Counters.LateDropped, got, len(perturbed))
+	}
+}
+
+// TestDisorderRejectsUnboundedLateness pins the reorder stage's internal
+// watermark invariant: feeding the engine disorder beyond its bound never
+// releases a regressed timestamp downstream (the run completes with drops
+// instead of panicking or corrupting order).
+func TestDisorderRejectsUnboundedLateness(t *testing.T) {
+	cat, conj := predicate.Clique(2)
+	// Hand-built adversarial trace: a tuple 1h behind the watermark.
+	trace := source.Merge(
+		source.Burst(cat, 0, 10*stream.Second, []stream.Value{1}),
+		source.Burst(cat, 1, 2*stream.Hour, []stream.Value{1}),
+	)
+	// Deliver the late tuple after the far-future one.
+	late := []*stream.Tuple{trace[1], trace[0]}
+	b := plan.BuildTree(cat, conj, plan.LeftDeep(2), plan.Options{
+		Window: time2min(), Mode: core.REF(),
+	})
+	r := NewWithOptions(b, Options{Drain: true, Disorder: stream.Second}).Run(late)
+	if r.Counters.LateDropped != 1 {
+		t.Fatalf("want exactly the adversarial tuple dropped, got %d", r.Counters.LateDropped)
+	}
+	if r.Arrivals != 1 {
+		t.Fatalf("want 1 processed arrival, got %d", r.Arrivals)
+	}
+}
+
+func time2min() stream.Time { return 2 * stream.Minute }

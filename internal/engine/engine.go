@@ -79,6 +79,18 @@ type Options struct {
 	// migrate the plan mid-run (DESIGN.md §7). Requires Drain: the handoff's
 	// lossless-delivery argument rests on exact-delivery recovery.
 	Reopt Reoptimizer
+	// Disorder, when > 0, accepts out-of-order sources under the bounded-
+	// disorder discipline of DESIGN.md §8 (a deliberate post-paper
+	// extension): arrivals are held in a reorder buffer and released in
+	// timestamp order once the watermark (max seen TS minus Disorder)
+	// passes them, so the operator pipeline still sees a non-decreasing
+	// timestamp sequence and every exactness argument carries over
+	// unchanged. Tuples arriving behind the watermark are counted in
+	// Counters.LateDropped, never silently lost. A source whose disorder is
+	// bounded by this value (source.Disordered with bound <= Disorder) is
+	// restored exactly: the released sequence is bit-identical to the
+	// in-order sort, so finals match the in-order run's in every mode.
+	Disorder stream.Time
 }
 
 // Reoptimizer is the engine's hook for mid-run plan migration (DESIGN.md
@@ -161,10 +173,16 @@ func ChanSource(ch <-chan *stream.Tuple) func() (*stream.Tuple, bool) {
 // RunStream pulls tuples from next until it reports false, interleaving
 // arrival processing with deadline-driven expiry sweeps, then (with
 // Options.Drain) drains the remaining timer deadlines to the horizon. The
-// source must yield tuples in non-decreasing timestamp order.
+// source must yield tuples in non-decreasing timestamp order, unless
+// Options.Disorder admits bounded out-of-order delivery — the reorder stage
+// then restores timestamp order before the pipeline sees anything.
 func (e *Engine) RunStream(next func() (*stream.Tuple, bool)) Result {
 	b := e.built
 	start := time.Now()
+	var late uint64
+	if e.opts.Disorder > 0 {
+		next = reorderSource(next, e.opts.Disorder, &late)
+	}
 	n := b.Catalog.NumSources()
 	sched := newScheduler(b.Joins)
 	if e.opts.Reopt != nil {
@@ -226,6 +244,9 @@ func (e *Engine) RunStream(next func() (*stream.Tuple, bool)) Result {
 		}
 		sched.drain(horizon, b.Counters)
 	}
+	// Late drops are charged at run end so they survive mid-run plan
+	// migrations (a migration swaps b and its Counters).
+	b.Counters.LateDropped += late
 	wall := time.Since(start)
 	return Result{
 		Results:         b.Sink.Count(),
@@ -235,6 +256,97 @@ func (e *Engine) RunStream(next func() (*stream.Tuple, bool)) Result {
 		Counters:        *b.Counters,
 		OrderViolations: b.Sink.OrderViolations,
 		Arrivals:        arrivals,
+	}
+}
+
+// reorderSource wraps a possibly out-of-order source in the bounded-disorder
+// admission discipline (DESIGN.md §8). Arrivals sit in a min-heap on
+// (TS, ID); a buffered tuple is released only when its timestamp falls
+// strictly below the watermark — the maximum ingested timestamp minus the
+// bound — because every future arrival is assumed to carry a timestamp at or
+// above that watermark. Under that assumption (which source.Disordered with
+// the same or smaller bound guarantees), releases are in strictly
+// non-decreasing timestamp order and, since IDs were assigned in timestamp
+// order, the released sequence is exactly the in-order sort. Arrivals
+// already strictly behind the watermark cannot be ordered ahead of what was
+// released; they are dropped and counted in *late. At end of source the
+// remaining buffer flushes in (TS, ID) order, ahead of the engine's drain
+// phase, so the drain cut stays exact.
+func reorderSource(next func() (*stream.Tuple, bool), bound stream.Time, late *uint64) func() (*stream.Tuple, bool) {
+	var h []*stream.Tuple // binary min-heap on (TS, ID)
+	less := func(a, b *stream.Tuple) bool {
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		return a.ID < b.ID
+	}
+	push := func(t *stream.Tuple) {
+		h = append(h, t)
+		for i := len(h) - 1; i > 0; {
+			p := (i - 1) / 2
+			if !less(h[i], h[p]) {
+				break
+			}
+			h[i], h[p] = h[p], h[i]
+			i = p
+		}
+	}
+	pop := func() *stream.Tuple {
+		top := h[0]
+		last := len(h) - 1
+		h[0] = h[last]
+		h[last] = nil
+		h = h[:last]
+		for i := 0; ; {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < len(h) && less(h[l], h[m]) {
+				m = l
+			}
+			if r < len(h) && less(h[r], h[m]) {
+				m = r
+			}
+			if m == i {
+				break
+			}
+			h[i], h[m] = h[m], h[i]
+			i = m
+		}
+		return top
+	}
+	var maxSeen stream.Time
+	var lastOut stream.Time
+	done := false
+	return func() (*stream.Tuple, bool) {
+		for {
+			if len(h) > 0 && (done || h[0].TS < maxSeen-bound) {
+				t := pop()
+				// Internal watermark-monotonicity invariant: the released
+				// sequence must be in timestamp order, or every downstream
+				// exactness argument collapses.
+				if t.TS < lastOut {
+					panic(fmt.Sprintf("engine: reorder released TS %d after %d", t.TS, lastOut))
+				}
+				lastOut = t.TS
+				return t, true
+			}
+			if done {
+				return nil, false
+			}
+			t, ok := next()
+			if !ok {
+				done = true
+				continue
+			}
+			if t.TS > maxSeen {
+				maxSeen = t.TS
+			}
+			if t.TS < maxSeen-bound {
+				*late++
+				continue
+			}
+			push(t)
+		}
 	}
 }
 

@@ -90,6 +90,32 @@ type Params struct {
 	// AdaptLog, when non-nil, receives the re-optimizer's epoch decisions
 	// and migration announcements.
 	AdaptLog io.Writer
+	// Zipf, when > 1, skews every source's value draws from uniform to a
+	// Zipf distribution with this exponent over the same domain (rank 1
+	// most frequent) — the hostile-stream skew mutator (DESIGN.md §8).
+	// Values in (0, 1] are invalid (Go's Zipf sampler needs exponent > 1).
+	Zipf float64
+	// Burst, when > 1, runs every source on a regime-switching schedule:
+	// rate·Burst during the first half of each BurstPeriod cycle, the base
+	// rate during the second half.
+	Burst float64
+	// BurstPeriod is the burst cycle length; zero means one window.
+	BurstPeriod stream.Time
+	// Disorder, when > 0, delivers the stream out of timestamp order with
+	// delays up to this bound, and gives the engine the same bound for its
+	// watermark admission discipline — so the run is exactly equivalent to
+	// its in-order sort, with late arrivals beyond the bound counted in
+	// Counters.LateDropped (DESIGN.md §8).
+	Disorder stream.Time
+	// Band, when > 0, replaces every equi-join predicate with its band
+	// counterpart |l - r| <= Band. Band joins defeat hash keying and
+	// key-partitioned sharding: plans fall back to linear probes and
+	// broadcast routing (DESIGN.md §8).
+	Band stream.Value
+	// KeepResults retains every delivered result in the sink so RunKeys can
+	// return the delivery keys — the multiset-equivalence hook of the
+	// scenario harness (internal/scenario). Costs O(results) memory.
+	KeepResults bool
 }
 
 // Validate rejects configurations the engine would otherwise accept
@@ -117,6 +143,18 @@ func (p Params) Validate() error {
 		return fmt.Errorf("adapt epoch cannot be negative (%v)", p.AdaptEpoch)
 	case p.AdaptEpoch > 0 && !p.Adapt:
 		return fmt.Errorf("adapt epoch set but adaptation is off (enable -adapt)")
+	case p.Zipf != 0 && p.Zipf <= 1:
+		return fmt.Errorf("zipf exponent must exceed 1 (zipf=%g)", p.Zipf)
+	case p.Burst < 0 || (p.Burst > 0 && p.Burst < 1):
+		return fmt.Errorf("burst factor must be at least 1 (burst=%g)", p.Burst)
+	case p.BurstPeriod < 0:
+		return fmt.Errorf("burst period cannot be negative (%v)", p.BurstPeriod)
+	case p.BurstPeriod > 0 && p.Burst <= 1:
+		return fmt.Errorf("burst period set but the burst factor is off (set -burst > 1)")
+	case p.Disorder < 0:
+		return fmt.Errorf("disorder bound cannot be negative (%v)", p.Disorder)
+	case p.Band < 0:
+		return fmt.Errorf("band tolerance cannot be negative (%d)", p.Band)
 	}
 	return nil
 }
@@ -142,8 +180,31 @@ func (p Params) Run() engine.Result {
 	if p.Shards > 1 {
 		return p.RunSharded().Merged
 	}
+	r, _ := p.runSingle()
+	return r
+}
+
+// RunKeys executes like Run but retains and returns the delivered result
+// keys — the canonical per-result identities (stream.Composite.Key) in
+// delivery order (the deterministic merge order for sharded runs) — for
+// multiset-equivalence comparison across modes, shard counts and mutator
+// stacks (internal/scenario, DESIGN.md §8).
+func (p Params) RunKeys() (engine.Result, []string) {
+	p.KeepResults = true
+	if p.Shards > 1 {
+		s := p.RunSharded()
+		return s.Merged, s.ResultKeys()
+	}
+	r, b := p.runSingle()
+	return r, b.Sink.ResultKeys()
+}
+
+// runSingle executes the single-engine form and returns the built plan
+// alongside the result (the plan holds the sink's delivery log when
+// KeepResults is set).
+func (p Params) runSingle() (engine.Result, *plan.Built) {
 	cat, cfg, b := p.build()
-	opts := engine.Options{Drain: p.Drain, Horizon: p.DrainHorizon}
+	opts := engine.Options{Drain: p.Drain, Horizon: p.DrainHorizon, Disorder: p.Disorder}
 	if p.Adapt {
 		// Adaptive execution implies the drain: the migration handoff's
 		// lossless-delivery argument rests on exact-delivery mode (§7).
@@ -152,7 +213,7 @@ func (p Params) Run() engine.Result {
 		opts.Reopt = adapt.New(c)
 	}
 	eng := engine.NewWithOptions(b, opts)
-	return eng.RunStream(source.Stream(cat, cfg))
+	return eng.RunStream(source.Stream(cat, cfg)), b
 }
 
 // RunSharded executes the configuration across Shards key-partitioned
@@ -165,7 +226,7 @@ func (p Params) RunSharded() shard.Result {
 	cat, cfg, b := p.build()
 	opts := shard.Options{
 		Shards: p.Shards,
-		Engine: engine.Options{Drain: true, Horizon: p.DrainHorizon},
+		Engine: engine.Options{Drain: true, Horizon: p.DrainHorizon, Disorder: p.Disorder},
 	}
 	if p.Adapt {
 		c := p.adaptConfig()
@@ -175,10 +236,31 @@ func (p Params) RunSharded() shard.Result {
 	return runner.RunStream(source.Stream(cat, cfg))
 }
 
-// build constructs the workload config and plan for the configuration.
+// build constructs the workload config and plan for the configuration,
+// applying the hostile-stream mutators (Zipf, Burst, Disorder, Band) on top
+// of the paper's uniform clique workload.
 func (p Params) build() (*stream.Catalog, source.Config, *plan.Built) {
 	cat, conj := predicate.Clique(p.N)
+	if p.Band > 0 {
+		conj = conj.WithTol(p.Band)
+	}
 	cfg := source.UniformConfig(p.N, p.Rate, p.DMax, p.Horizon, p.Seed)
+	if p.Zipf > 1 || p.Burst > 1 {
+		period := p.BurstPeriod
+		if period == 0 {
+			period = p.Window
+		}
+		for i := range cfg.Specs {
+			if p.Zipf > 1 {
+				cfg.Specs[i].Zipf = p.Zipf
+			}
+			if p.Burst > 1 {
+				cfg.Specs[i].BurstFactor = p.Burst
+				cfg.Specs[i].BurstPeriod = period
+			}
+		}
+	}
+	cfg.Disorder = p.Disorder
 	if p.LastStreamFactor > 0 {
 		last := p.N - 1
 		spec := cfg.Specs[last]
@@ -196,6 +278,7 @@ func (p Params) build() (*stream.Catalog, source.Config, *plan.Built) {
 	}
 	b := plan.BuildTree(cat, conj, shape, plan.Options{
 		Window: p.Window, Mode: p.Mode, NoStateIndex: !p.Indexed,
+		KeepResults: p.KeepResults,
 	})
 	return cat, cfg, b
 }
@@ -253,6 +336,15 @@ type Config struct {
 	// work counters relative to the single-engine figures, so sharded
 	// sweeps measure scaling, not the paper's JIT-vs-REF overhead shape.
 	Shards int
+	// Zipf, Burst, BurstPeriod, Disorder and Band apply the hostile-stream
+	// mutators (DESIGN.md §8) to every point; see the Params fields of the
+	// same names. Hostile sweeps probe robustness, not the paper's figure
+	// shapes — expect CheckShape deviations under them.
+	Zipf        float64
+	Burst       float64
+	BurstPeriod stream.Time
+	Disorder    stream.Time
+	Band        stream.Value
 }
 
 // DefaultConfig runs JIT vs REF at one-tenth horizon scale, seed 1.

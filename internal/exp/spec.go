@@ -65,12 +65,22 @@ func Specs() []Spec {
 			XLabel: "N", Xs: []float64{3, 4, 5, 6}, LeftDeep: true, Apply: setN,
 			// The short preset keeps the two mid-grid points at a scaling
 			// tuned for them: the N sweep's extremes invert JIT-vs-REF in
-			// this reproduction even at paper-faithful sizes (N=3's two-atom
-			// top join detects per-signature MNSs faster than suspension can
-			// repay; N=6's deep pipeline pays lattice costs on every level),
-			// so no shrink can make them match — see RESULTS.md and the
-			// ROADMAP's short-preset item. ×0.48 windows with ×0.40 domains
-			// keeps N=4/5 faithful (JIT below REF, REF rising) and cheap.
+			// this reproduction even at paper-faithful sizes, so no shrink
+			// can make them match — see RESULTS.md and the ROADMAP's
+			// short-preset item. ×0.48 windows with ×0.40 domains keeps
+			// N=4/5 faithful (JIT below REF, REF rising) and cheap.
+			//
+			// Root cause, measured (TestLeftDeepInversionStudy,
+			// internal/scenario): at both extremes JIT's machinery cost is
+			// 90–100% Identify_MNS lattice walks (share 0.90 at N=6), and
+			// suspension never pays for itself on this workload — the probes
+			// it suppresses save less than resumption catch-up joins add
+			// back, so JIT's BASE join work exceeds REF's (3.7× at N=6
+			// uniform; ~22k suspensions against ~21k MNS detections is
+			// detection thrash, not savings). Zipf skew flattens the N=3
+			// ratio (2.99 uniform → 1.82 at s=2.0) by collapsing detections
+			// (30,781 → 2,882) and amortizing machinery over a hotter base —
+			// not by turning the payback positive.
 			ShortXs: []float64{4, 5}, ShortSizeScale: 0.48, ShortDomainScale: 0.40},
 		{ID: 17, Name: "fig17", Title: "Overhead vs max data value dmax (left-deep)",
 			XLabel: "dmax", Xs: []float64{30, 40, 50, 60, 70}, LeftDeep: true, Apply: setDMax},
@@ -105,6 +115,11 @@ func (s Spec) ParamsAt(cfg Config, nm NamedMode, x float64) Params {
 	p.Seed = cfg.Seed
 	p.Indexed = cfg.Indexed
 	p.Shards = cfg.Shards
+	p.Zipf = cfg.Zipf
+	p.Burst = cfg.Burst
+	p.BurstPeriod = cfg.BurstPeriod
+	p.Disorder = cfg.Disorder
+	p.Band = cfg.Band
 	p.Window = cfg.sizeW(p.Window)
 	p.DMax = cfg.sizeD(p.DMax)
 	if p.Horizon == 0 {

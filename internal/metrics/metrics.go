@@ -63,6 +63,11 @@ type Counters struct {
 	// results the successor plan regenerated during replay (or re-delivered
 	// after it) that the run had already emitted (DESIGN.md §7).
 	MigrationDups uint64
+	// LateDropped counts tuples that arrived behind the engine's disorder
+	// watermark (TS < maxSeenTS - bound) and were dropped before ingestion
+	// (DESIGN.md §8). Conservation invariant: every arrival is either
+	// processed or counted here — never silently lost.
+	LateDropped uint64
 }
 
 // Add accumulates o into c.
@@ -86,6 +91,7 @@ func (c *Counters) Add(o *Counters) {
 	c.Migrations += o.Migrations
 	c.AdaptUnits += o.AdaptUnits
 	c.MigrationDups += o.MigrationDups
+	c.LateDropped += o.LateDropped
 }
 
 // CostUnits collapses the counters into a single deterministic work figure.
@@ -119,6 +125,9 @@ func (c *Counters) String() string {
 	if c.Migrations > 0 || c.AdaptUnits > 0 {
 		fmt.Fprintf(&b, "\nmigrations=%d adaptUnits=%d migrationDups=%d",
 			c.Migrations, c.AdaptUnits, c.MigrationDups)
+	}
+	if c.LateDropped > 0 {
+		fmt.Fprintf(&b, "\nlateDropped=%d", c.LateDropped)
 	}
 	return b.String()
 }

@@ -12,12 +12,35 @@ import (
 	"repro/internal/stream"
 )
 
-// Eq is one equi-join predicate: Left.LCol = Right.RCol.
+// Eq is one join predicate between two source columns. With Tol == 0 (the
+// zero value, and the only form the paper's workloads use) it is the
+// equi-join Left.LCol = Right.RCol. With Tol > 0 it is the band join
+// |Left.LCol - Right.RCol| <= Tol — a non-equi predicate that deliberately
+// defeats hash keying: EquiKeyCols and EquiClosure skip band predicates, so
+// joins whose crossing conjunction is pure-band fall back to linear state
+// scans and broadcast sharding (DESIGN.md §8).
 type Eq struct {
 	Left  stream.SourceID
 	LCol  int
 	Right stream.SourceID
 	RCol  int
+	// Tol is the band half-width; 0 means exact equality.
+	Tol stream.Value
+}
+
+// IsBand reports whether this is a band (non-equi) predicate.
+func (e Eq) IsBand() bool { return e.Tol != 0 }
+
+// matches applies the predicate's comparison to two resolved values.
+func (e Eq) matches(a, b stream.Value) bool {
+	if e.Tol == 0 {
+		return a == b
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= e.Tol
 }
 
 // Touches reports whether the predicate references the given source.
@@ -43,7 +66,7 @@ func (e Eq) Holds(a, b *stream.Composite) bool {
 	if lt == nil || rt == nil {
 		return true
 	}
-	return lt.Vals[e.LCol] == rt.Vals[e.RCol]
+	return e.matches(lt.Vals[e.LCol], rt.Vals[e.RCol])
 }
 
 // HoldsOn evaluates the predicate on a single composite, vacuously true when
@@ -53,10 +76,13 @@ func (e Eq) HoldsOn(c *stream.Composite) bool {
 	if lt == nil || rt == nil {
 		return true
 	}
-	return lt.Vals[e.LCol] == rt.Vals[e.RCol]
+	return e.matches(lt.Vals[e.LCol], rt.Vals[e.RCol])
 }
 
 func (e Eq) String() string {
+	if e.IsBand() {
+		return fmt.Sprintf("|s%d.c%d-s%d.c%d|<=%d", e.Left, e.LCol, e.Right, e.RCol, e.Tol)
+	}
 	return fmt.Sprintf("s%d.c%d=s%d.c%d", e.Left, e.LCol, e.Right, e.RCol)
 }
 
@@ -114,11 +140,18 @@ func (c Conj) SourcesLinkedTo(own, opposite stream.SourceSet) []stream.SourceID 
 // rk are equal — the property the hash-indexed join states of DESIGN.md §3
 // rely on. ok is false when no predicate crosses the two sets (the join is a
 // cross product and keying is meaningless); callers must then fall back to
-// linear scans. Because Conj can only express equi-joins, every crossing
-// predicate contributes to the key; if non-equi predicate kinds are ever
-// added, this is the place that must report ok=false for them.
+// linear scans. Band predicates (Tol != 0) cannot be keyed — hash equality
+// of the key vectors would wrongly reject within-band pairs — so they are
+// skipped here; a join whose crossing predicates are all band gets ok=false
+// and takes the linear probe path. Mixed conjunctions still key on the equi
+// subset: every crossing predicate (band ones included) is re-evaluated on
+// each candidate pair, so keying on the subset only narrows candidates, it
+// never changes the match set.
 func (c Conj) EquiKeyCols(left, right stream.SourceSet) (lk, rk []Attr, ok bool) {
 	for _, e := range c {
+		if e.IsBand() {
+			continue
+		}
 		switch {
 		case left.Has(e.Left) && right.Has(e.Right):
 			lk = append(lk, Attr{Source: e.Left, Col: e.LCol})
@@ -166,6 +199,13 @@ func (c Conj) EquiClosure() [][]Attr {
 		}
 	}
 	for _, e := range c {
+		// Band predicates do not equate their endpoints — two within-band
+		// values can hash to different shards — so they contribute no edge
+		// to the closure. Sources reachable only through band predicates
+		// end up keyless and are broadcast by internal/shard.
+		if e.IsBand() {
+			continue
+		}
 		union(Attr{Source: e.Left, Col: e.LCol}, Attr{Source: e.Right, Col: e.RCol})
 	}
 	groups := make(map[Attr][]Attr)
@@ -244,6 +284,32 @@ func (c Conj) JoinAttrs(src stream.SourceID, opposite stream.SourceSet) []Attr {
 		return out[i].Col < out[j].Col
 	})
 	return out
+}
+
+// WithTol returns a copy of the conjunction with every predicate's band
+// tolerance set to tol — the hostile-workload transform that turns an
+// equi-join query (Clique, Chain) into its band counterpart. tol = 0
+// returns an equivalent equi-join copy.
+func (c Conj) WithTol(tol stream.Value) Conj {
+	out := make(Conj, len(c))
+	copy(out, c)
+	for i := range out {
+		out[i].Tol = tol
+	}
+	return out
+}
+
+// HasBand reports whether any predicate in the conjunction is a band
+// predicate. Consumers use it to disable machinery that is only sound for
+// exact equality (hash keying, Bloom absence proofs, exact-value MNS buffer
+// probes — DESIGN.md §8).
+func (c Conj) HasBand() bool {
+	for _, e := range c {
+		if e.IsBand() {
+			return true
+		}
+	}
+	return false
 }
 
 func (c Conj) String() string {

@@ -48,6 +48,7 @@ type jsonExt struct {
 	Indexed []jsonIndexed `json:"indexed"`
 	Drain   []jsonDrain   `json:"drain"`
 	Sharded []jsonSharded `json:"sharded"`
+	Hostile []jsonHostile `json:"hostile"`
 }
 
 type jsonIndexed struct {
@@ -76,6 +77,17 @@ type jsonSharded struct {
 	Broadcasts   uint64  `json:"broadcasts"`
 	PeakMemKB    float64 `json:"peak_mem_kb"`
 	Fallback     bool    `json:"fallback"`
+}
+
+type jsonHostile struct {
+	Name        string `json:"name"`
+	Mutators    string `json:"mutators"`
+	REFFinals   uint64 `json:"ref_finals"`
+	JITFinals   uint64 `json:"jit_finals"`
+	REFCost     uint64 `json:"ref_cost"`
+	JITCost     uint64 `json:"jit_cost"`
+	LateDropped uint64 `json:"late_dropped"`
+	Equal       bool   `json:"multiset_equal"`
 }
 
 func toJSONResult(r engine.Result) jsonResult {
@@ -143,6 +155,18 @@ func (r *Report) JSON() ([]byte, error) {
 			Broadcasts:   row.Broadcasts,
 			PeakMemKB:    row.Merged.PeakMemKB,
 			Fallback:     row.Fallback,
+		})
+	}
+	for _, row := range r.Ext.Hostile {
+		out.Extensions.Hostile = append(out.Extensions.Hostile, jsonHostile{
+			Name:        row.Name,
+			Mutators:    row.Mutators,
+			REFFinals:   row.REF.Results,
+			JITFinals:   row.JIT.Results,
+			REFCost:     row.REF.CostUnits,
+			JITCost:     row.JIT.CostUnits,
+			LateDropped: row.JIT.Counters.LateDropped,
+			Equal:       row.Equal,
 		})
 	}
 	data, err := json.MarshalIndent(out, "", "  ")

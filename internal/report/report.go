@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/exp"
+	"repro/internal/scenario"
 	"repro/internal/stream"
 )
 
@@ -131,6 +132,9 @@ type Extensions struct {
 	// Sharded runs JIT across key-partitioned engine replicas
 	// (DESIGN.md §5).
 	Sharded []ShardRow
+	// Hostile runs the scenario suite's mutator stacks (DESIGN.md §8) and
+	// records the JIT-vs-REF equivalence per stack.
+	Hostile []HostileRow
 }
 
 // IndexedRow is one mode's scan-vs-indexed comparison.
@@ -156,6 +160,17 @@ type ShardRow struct {
 	Routed     uint64
 	Broadcasts uint64
 	Fallback   bool
+}
+
+// HostileRow is one hostile-stream scenario's drained REF/JIT pair.
+type HostileRow struct {
+	Name     string
+	Mutators string
+	REF      engine.Result
+	JIT      engine.Result
+	// Equal reports multiset equality of the two delivery logs — the
+	// scenario harness's headline contract (DESIGN.md §8).
+	Equal bool
 }
 
 // extBase is the extension workload: the dense end-of-stream family of
@@ -216,6 +231,28 @@ func runExtensions(o Options) Extensions {
 			Routed:     res.Routed,
 			Broadcasts: res.Broadcasts,
 			Fallback:   res.Fallback,
+		})
+	}
+
+	// Hostile scenarios always run at the scenario suite's short sizes:
+	// the appendix is an equivalence record, not a performance sweep, and
+	// the full-size mutator stacks belong to internal/scenario's nightly
+	// matrix and BenchmarkHostile.
+	hostileBase := scenario.Base(true)
+	hostileBase.Seed = o.seed()
+	for _, sc := range scenario.Suite(true) {
+		ref := sc.Apply(hostileBase)
+		ref.Mode = core.REF()
+		refRes, refKeys := ref.RunKeys()
+		jit := sc.Apply(hostileBase)
+		jit.Mode = core.JIT()
+		jitRes, jitKeys := jit.RunKeys()
+		ext.Hostile = append(ext.Hostile, HostileRow{
+			Name:     sc.Name,
+			Mutators: sc.Describe(),
+			REF:      refRes,
+			JIT:      jitRes,
+			Equal:    len(scenario.DiffMultisets(scenario.Multiset(jitKeys), scenario.Multiset(refKeys))) == 0,
 		})
 	}
 	return ext

@@ -1,0 +1,139 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/metrics"
+)
+
+// baseUnits is the CostUnits share every mode pays: probe comparisons,
+// result construction, state maintenance and queue traffic.
+func baseUnits(c metrics.Counters) int64 {
+	return int64(c.Comparisons + c.Results*8 + c.Inserted*2 + c.Purged*2 + c.QueueOps)
+}
+
+// machineryUnits is the CostUnits share only the feedback machinery pays:
+// MNS identification (lattice walks, Bloom checks), feedback messages, and
+// the suspension lifecycle (suspend, resume, catch-up joins).
+func machineryUnits(c metrics.Counters) int64 {
+	return int64(c.LatticeNodes + c.BloomChecks + c.Feedbacks*16 +
+		c.Suspended*4 + c.Resumed*4 + c.CatchUpJoins + c.AdaptUnits)
+}
+
+// TestLeftDeepInversionStudy root-causes the Figure 16 inversion: in this
+// reproduction the left-deep N-sweep's extremes (N=3, N=6) run JIT above
+// REF even at paper-faithful sizes. The study isolates the cause by
+// decomposing CostUnits into the base share (work every mode pays) and
+// the machinery share (work only JIT pays), across a skew sweep at N=3
+// that scales the suspension-payback side: Zipf skew concentrates
+// arrivals on hot signatures, so each detected MNS covers more of the
+// future stream.
+//
+// Measured verdict (pinned below; recorded in the fig16 spec comment and
+// the ROADMAP): the inversion is detection economics, not a modeling bug,
+// and it is sharper than the original hypothesis. (a) The machinery share
+// is 90–100% Identify_MNS lattice walks at both extremes — feedback
+// messages and the suspension lifecycle are noise next to per-arrival CNS
+// lattice evaluation, so "pays lattice costs on every level" is confirmed
+// literally at N=6 (share 0.90 over the five-level pipeline). (b) The
+// payback is not merely insufficient, it is NEGATIVE: suppressed probes
+// save less base work than resumption catch-up adds back (catch-up
+// results still have to be constructed and propagated), so JIT's base
+// share exceeds REF's in every cell — ~3.7× at N=6 uniform, where 22k
+// suspensions thrash against 21k detected MNSs. (c) Skew flattens the
+// ratio at N=3 (2.99 uniform → 1.82 at s=2.0) but NOT by making
+// suspension pay: payback stays negative while detections collapse
+// (30781 → 2882 MNSs) and the hotter stream inflates the base share both
+// modes pay — the machinery is amortized, never repaid. The paper's
+// N=4/5 mid-grid sits in exactly that amortized regime.
+func TestLeftDeepInversionStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("inversion study runs the full fig16 extremes; skipped in -short")
+	}
+	spec, ok := exp.SpecByID(16)
+	if !ok {
+		t.Fatal("fig16 spec missing")
+	}
+	// The short report preset's scaling for fig16, at the excluded extremes.
+	cfg := exp.Config{Seed: 1, SizeScale: 0.48, DomainScale: 0.40}
+	cells := []struct {
+		n    float64
+		zipf float64
+		rate float64 // leaner stream under skew: match probability is hotter
+	}{
+		// No skew sweep at N=6: fifteen skewed clique predicates blow up the
+		// deep pipeline's intermediate volume past any useful test budget,
+		// and the N=6 question (where does the machinery go?) is answered by
+		// the uniform cell alone.
+		{3, 0, 1}, {3, 1.5, 0.6}, {3, 2.0, 0.5},
+		{6, 0, 1},
+	}
+	type verdict struct {
+		n, zipf      float64
+		saved, mach  int64
+		latticeShare float64
+		jitOverRef   float64
+	}
+	var out []verdict
+	for _, c := range cells {
+		run := func(nm exp.NamedMode) (int64, int64, metrics.Counters) {
+			p := spec.ParamsAt(cfg, nm, c.n)
+			p.Zipf, p.Rate, p.Drain = c.zipf, c.rate, true
+			r := p.Run()
+			base, mach := baseUnits(r.Counters), machineryUnits(r.Counters)
+			// The decomposition must tile CostUnits exactly — a new weighted
+			// counter added to CostUnits() without a home here would skew
+			// every conclusion below silently.
+			if got := base + mach; got != int64(r.CostUnits) {
+				t.Fatalf("decomposition does not tile CostUnits: base %d + machinery %d != %d",
+					base, mach, r.CostUnits)
+			}
+			return base, mach, r.Counters
+		}
+		refBase, refMach, _ := run(exp.NamedMode{Name: "REF", Mode: core.REF()})
+		jitBase, jitMach, jc := run(exp.NamedMode{Name: "JIT", Mode: core.JIT()})
+		if refMach != 0 {
+			t.Fatalf("REF charged %d machinery units; the reference mode has no feedback path", refMach)
+		}
+		latticeShare := 0.0
+		if jitMach > 0 {
+			latticeShare = float64(jc.LatticeNodes) / float64(jitMach)
+		}
+		v := verdict{
+			n: c.n, zipf: c.zipf,
+			saved: refBase - jitBase, mach: jitMach,
+			latticeShare: latticeShare,
+			jitOverRef:   float64(jitBase+jitMach) / float64(refBase),
+		}
+		out = append(out, v)
+		t.Logf("N=%.0f zipf=%.1f: JIT/REF=%.3f  payback=%d  machinery=%d (lattice share %.2f)  suspended=%d mns=%d",
+			v.n, v.zipf, v.jitOverRef, v.saved, v.mach, v.latticeShare, jc.Suspended, jc.MNSDetected)
+	}
+	for _, v := range out {
+		// (a) Identify_MNS lattice walks dominate the machinery everywhere.
+		if v.latticeShare < 0.5 {
+			t.Errorf("N=%.0f zipf=%.1f: lattice share %.2f — machinery is no longer detection-dominated; update the fig16 spec comment",
+				v.n, v.zipf, v.latticeShare)
+		}
+		// (b) At the uniform extremes, suspension never repays detection:
+		// the inversion premise behind fig16's ShortXs subset.
+		if v.zipf == 0 && v.saved >= v.mach {
+			t.Errorf("N=%.0f uniform: payback %d >= machinery %d — the fig16 inversion premise no longer holds; update the spec comment",
+				v.n, v.saved, v.mach)
+		}
+	}
+	// (c) Skew flattens the N=3 ratio by amortizing the machinery over a
+	// hotter base workload.
+	n3 := map[float64]verdict{}
+	for _, v := range out {
+		if v.n == 3 {
+			n3[v.zipf] = v
+		}
+	}
+	if n3[2.0].jitOverRef >= n3[0].jitOverRef {
+		t.Errorf("N=3: skew did not flatten JIT/REF (%.3f at zipf=2 vs %.3f uniform) — amortization verdict refuted; update the spec comment",
+			n3[2.0].jitOverRef, n3[0].jitOverRef)
+	}
+}

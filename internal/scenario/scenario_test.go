@@ -1,0 +1,226 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/exp"
+	"repro/internal/metrics"
+	"repro/internal/shard"
+	"repro/internal/stream"
+)
+
+// requireEqualMultisets fails with a bounded diff when the two result
+// multisets differ.
+func requireEqualMultisets(t *testing.T, got, want map[string]int) {
+	t.Helper()
+	diffs := DiffMultisets(got, want)
+	if len(diffs) == 0 {
+		return
+	}
+	show := diffs
+	if len(show) > 5 {
+		show = show[:5]
+	}
+	t.Fatalf("result multiset differs from REF baseline (%d keys off, showing %d):\n%v",
+		len(diffs), len(show), show)
+}
+
+// checkRun applies the invariants every cell must satisfy regardless of
+// shard count: nothing late-dropped (every suite scenario's disorder is at
+// the engine's own bound), and the result count consistent with the
+// delivery log. Watermark monotonicity needs no assertion here — the
+// engine's reorder stage panics the test on any regressed release.
+func checkRun(t *testing.T, r engine.Result, keys []string) {
+	t.Helper()
+	if r.Counters.LateDropped != 0 {
+		t.Fatalf("dropped %d tuples though the stream's disorder equals the bound", r.Counters.LateDropped)
+	}
+	if r.Results != uint64(len(keys)) {
+		t.Fatalf("Results=%d but %d deliveries kept", r.Results, len(keys))
+	}
+}
+
+// checkSharded applies the sharding invariants: arrival conservation
+// (routed once, broadcasts once per replica), band predicates forcing the
+// broadcast fallback, and — under Zipf — the measured partition imbalance.
+func checkSharded(t *testing.T, sc Scenario, res shard.Result) {
+	t.Helper()
+	if sc.Band > 0 {
+		// A pure band conjunction defeats equi-key derivation: the run must
+		// collapse to the single-replica fallback, not silently mis-partition.
+		if !res.Fallback || len(res.Shards) != 1 {
+			t.Fatalf("band predicates must force the broadcast fallback; got fallback=%v shards=%d",
+				res.Fallback, len(res.Shards))
+		}
+	} else if res.Fallback {
+		t.Fatal("equi-join clique unexpectedly fell back to one replica")
+	}
+	var sum uint64
+	for _, sh := range res.Shards {
+		sum += uint64(sh.Arrivals)
+	}
+	want := res.Routed + uint64(len(res.Shards))*res.Broadcasts
+	if sum != want {
+		t.Fatalf("arrival conservation violated: per-shard sum %d, routed %d + %d shards × %d broadcasts = %d",
+			sum, res.Routed, len(res.Shards), res.Broadcasts, want)
+	}
+	if sc.Zipf > 1 && len(res.Shards) > 1 {
+		// Partition balance under skew: the hot value's shard must carry the
+		// head of the Zipf mass. A balanced histogram here would mean the
+		// skew never reached routing.
+		imb := res.Imbalance()
+		t.Logf("zipf partition balance: hot shard carries %.2f× the fair share (%d routed over %d shards)",
+			imb, res.Routed, len(res.Shards))
+		if imb < 1.1 {
+			t.Errorf("hot shard carries %.2f× the fair share; Zipf head should exceed 1.1×", imb)
+		}
+	}
+}
+
+// TestHostileStreamEquivalence is the harness's headline: every scenario of
+// the suite, run through every cell of the execution matrix, must deliver
+// exactly the REF baseline's final multiset. Multiset equality doubles as
+// the exactly-once proof for cells with adaptive migration: a lost or
+// duplicated delivery during a plan handoff shows up as a count mismatch.
+func TestHostileStreamEquivalence(t *testing.T) {
+	short := testing.Short()
+	for _, sc := range Suite(short) {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			base := sc.Apply(Base(short))
+			ref := base
+			ref.Bushy, ref.Mode, ref.Shards, ref.Adapt = true, core.REF(), 1, false
+			refRes, refKeys := ref.RunKeys()
+			if refRes.Results == 0 {
+				t.Fatalf("degenerate scenario: REF baseline produced no finals (arrivals=%d)", refRes.Arrivals)
+			}
+			checkRun(t, refRes, refKeys)
+			t.Logf("REF baseline: %d finals over %d arrivals", refRes.Results, refRes.Arrivals)
+			want := Multiset(refKeys)
+			for _, cell := range Matrix(short) {
+				cell := cell
+				t.Run(cell.String(), func(t *testing.T) {
+					t.Parallel()
+					p := cell.Apply(base)
+					if cell.Shards > 1 {
+						p.KeepResults = true
+						res := p.RunSharded()
+						checkRun(t, res.Merged, res.ResultKeys())
+						checkSharded(t, sc, res)
+						requireEqualMultisets(t, Multiset(res.ResultKeys()), want)
+						if m := res.Merged.Counters.Migrations; m > 0 {
+							t.Logf("exactly-once held across %d migrations (%d duplicate deliveries suppressed)",
+								m, res.Merged.Counters.MigrationDups)
+						}
+						return
+					}
+					r, keys := p.RunKeys()
+					checkRun(t, r, keys)
+					requireEqualMultisets(t, Multiset(keys), want)
+					if m := r.Counters.Migrations; m > 0 {
+						t.Logf("exactly-once held across %d migrations (%d duplicate deliveries suppressed)",
+							m, r.Counters.MigrationDups)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestSeedSweepProperty is the property-style sweep: a deterministic PRNG
+// draws a random topology and a random mutator stack per seed, and every
+// draw must satisfy the same two properties — all four modes deliver the
+// REF multiset, and a sharded run's merged counters equal the field-wise
+// sum of its per-shard counters (the behavioral face of the
+// TestCountersAddCoversEveryField reflection pin: a counter field that
+// Add misses would diverge here, not just in structure).
+func TestSeedSweepProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x59a7))
+	seeds := 5
+	if testing.Short() {
+		seeds = 2
+	}
+	for i := 0; i < seeds; i++ {
+		p := exp.Params{
+			N:       3 + rng.Intn(2),
+			Bushy:   rng.Intn(2) == 0,
+			Window:  stream.Minute,
+			Rate:    3,
+			DMax:    60,
+			Horizon: 2 * stream.Minute,
+			Seed:    int64(i + 1),
+			Drain:   true,
+		}
+		stack := ""
+		if rng.Intn(2) == 0 {
+			// Skew multiplies the per-predicate match probability; shrink the
+			// workload so the result volume stays in the control's ballpark.
+			p.Zipf = 1.5 + 0.3*rng.Float64()
+			p.N, p.Rate, p.Window = 3, 0.5, 30*stream.Second
+			stack += fmt.Sprintf("+zipf%.2f", p.Zipf)
+		}
+		if rng.Intn(2) == 0 {
+			p.Burst = 2 + 2*rng.Float64()
+			p.BurstPeriod = 20 * stream.Second
+			stack += fmt.Sprintf("+burst%.1f", p.Burst)
+		}
+		if rng.Intn(2) == 0 {
+			p.Disorder = stream.Time(1+rng.Intn(10)) * stream.Second
+			stack += fmt.Sprintf("+disorder%v", p.Disorder)
+		}
+		if rng.Intn(2) == 0 {
+			p.Band = stream.Value(1 + rng.Intn(2))
+			p.DMax *= 2*int64(p.Band) + 1 // keep per-predicate selectivity level
+			stack += fmt.Sprintf("+band%d", p.Band)
+		}
+		if stack == "" {
+			stack = "+none"
+		}
+		topo := "leftdeep"
+		if p.Bushy {
+			topo = "bushy"
+		}
+		t.Run(fmt.Sprintf("seed=%d/N=%d/%s%s", p.Seed, p.N, topo, stack), func(t *testing.T) {
+			ref := p
+			ref.Mode = core.REF()
+			refRes, refKeys := ref.RunKeys()
+			checkRun(t, refRes, refKeys)
+			want := Multiset(refKeys)
+			for _, nm := range exp.AblationModes() {
+				if nm.Name == "REF" {
+					continue
+				}
+				q := p
+				q.Mode = nm.Mode
+				r, keys := q.RunKeys()
+				checkRun(t, r, keys)
+				if diffs := DiffMultisets(Multiset(keys), want); len(diffs) > 0 {
+					t.Fatalf("%s diverges from REF on %d keys: %v", nm.Name, len(diffs), diffs[0])
+				}
+			}
+			s := p
+			s.Mode, s.Shards, s.KeepResults = core.JIT(), 3, true
+			res := s.RunSharded()
+			if diffs := DiffMultisets(Multiset(res.ResultKeys()), want); len(diffs) > 0 {
+				t.Fatalf("sharded JIT diverges from REF on %d keys: %v", len(diffs), diffs[0])
+			}
+			var sum metrics.Counters
+			sv := reflect.ValueOf(&sum).Elem()
+			for _, sh := range res.Shards {
+				cv := reflect.ValueOf(sh.Counters)
+				for f := 0; f < cv.NumField(); f++ {
+					sv.Field(f).SetUint(sv.Field(f).Uint() + cv.Field(f).Uint())
+				}
+			}
+			if sum != res.Merged.Counters {
+				t.Fatalf("merged counters are not the field-wise per-shard sum:\nmerged: %+v\nsum:    %+v",
+					res.Merged.Counters, sum)
+			}
+		})
+	}
+}

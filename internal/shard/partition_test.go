@@ -1,8 +1,10 @@
 package shard
 
 import (
+	"math"
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/plan"
 	"repro/internal/predicate"
 	"repro/internal/stream"
@@ -109,5 +111,23 @@ func TestRoute(t *testing.T) {
 		if got := k.Route(&stream.Tuple{Source: 2, Vals: []stream.Value{7, 7, 7}}, n); got != Broadcast {
 			t.Errorf("shards=%d: unrouted source got shard %d, want Broadcast", n, got)
 		}
+	}
+}
+
+// TestImbalance pins the load-skew metric: hottest routed share over the
+// fair share, with broadcasts (ingested once per replica) excluded.
+func TestImbalance(t *testing.T) {
+	r := Result{
+		Routed:     90,
+		Broadcasts: 5,
+		Shards:     []engine.Result{{Arrivals: 65}, {Arrivals: 35}},
+	}
+	// Routed per shard: 60 and 30; fair share 45; hot/fair = 4/3.
+	if got, want := r.Imbalance(), 60.0/45.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Imbalance() = %v, want %v", got, want)
+	}
+	single := Result{Routed: 10, Shards: []engine.Result{{Arrivals: 10}}}
+	if got := single.Imbalance(); got != 1 {
+		t.Fatalf("single-replica Imbalance() = %v, want 1", got)
 	}
 }

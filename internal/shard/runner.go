@@ -68,6 +68,26 @@ func (r *Result) ResultKeys() []string {
 	return keys
 }
 
+// Imbalance measures the partition skew of a keyed run: the hottest
+// replica's routed-arrival count over the fair per-replica share. A
+// perfectly balanced fleet scores 1; a Zipf-skewed key pushes the score
+// toward the replica owning the hot value (the scenario harness asserts
+// this reaches routing, and a future autoscaler would treat it as the
+// re-key trigger). Single-replica and fallback runs score 1 — there is no
+// routing decision to be skewed.
+func (r *Result) Imbalance() float64 {
+	if len(r.Shards) < 2 || r.Routed == 0 {
+		return 1
+	}
+	var hot uint64
+	for _, sh := range r.Shards {
+		if routed := uint64(sh.Arrivals) - r.Broadcasts; routed > hot {
+			hot = routed
+		}
+	}
+	return float64(hot) * float64(len(r.Shards)) / float64(r.Routed)
+}
+
 // Runner executes one plan across key-partitioned engine replicas.
 type Runner struct {
 	base   *plan.Built

@@ -1,0 +1,127 @@
+package source
+
+import (
+	"testing"
+
+	"repro/internal/predicate"
+	"repro/internal/stream"
+)
+
+// FuzzStreamMerge drives the lazy k-way merge with arbitrary workload
+// parameters and checks its contract against the materialized generator:
+// identical element-wise sequence, non-decreasing timestamps with the
+// lowest source winning ties, sequential IDs, and the horizon respected.
+func FuzzStreamMerge(f *testing.F) {
+	f.Add(int64(1), uint8(10), uint8(10), uint16(300))
+	f.Add(int64(42), uint8(1), uint8(200), uint16(50))
+	f.Add(int64(-7), uint8(255), uint8(1), uint16(1))
+	f.Fuzz(func(t *testing.T, seed int64, rateQ, dmaxQ uint8, horizonQ uint16) {
+		rate := 0.5 + float64(rateQ)/8 // 0.5 .. ~32 tuples/sec
+		dmax := int64(dmaxQ) + 1
+		horizon := stream.Time(horizonQ%2000+1) * 50 // 50ms .. 100s
+		cat, _ := predicate.Clique(3)
+		cfg := UniformConfig(3, rate, dmax, horizon, seed)
+
+		want := Generate(cat, cfg)
+		next := Stream(cat, cfg)
+		var last stream.Time
+		var lastSrc stream.SourceID
+		for i := 0; ; i++ {
+			g, ok := next()
+			if !ok {
+				if i != len(want) {
+					t.Fatalf("stream ended at %d, generate has %d", i, len(want))
+				}
+				return
+			}
+			if i >= len(want) {
+				t.Fatalf("stream yields beyond generate's %d tuples", len(want))
+			}
+			w := want[i]
+			if g.ID != w.ID || g.TS != w.TS || g.Source != w.Source {
+				t.Fatalf("diverges at %d: got (id=%d ts=%v s=%d), want (id=%d ts=%v s=%d)",
+					i, g.ID, g.TS, g.Source, w.ID, w.TS, w.Source)
+			}
+			if g.ID != uint64(i+1) {
+				t.Fatalf("non-sequential ID %d at %d", g.ID, i)
+			}
+			if g.TS < last || (g.TS == last && g.Source < lastSrc) {
+				t.Fatalf("merge order violated at %d: (%v,s%d) after (%v,s%d)",
+					i, g.TS, g.Source, last, lastSrc)
+			}
+			if g.TS >= horizon {
+				t.Fatalf("tuple at %v beyond horizon %v", g.TS, horizon)
+			}
+			last, lastSrc = g.TS, g.Source
+		}
+	})
+}
+
+// FuzzDisorder feeds the disorder mutator arbitrary hand-built in-order
+// traces and checks its contract: the output is a permutation of the input
+// (every ID exactly once), watermark-respecting (no tuple more than the
+// bound behind the running timestamp maximum), and deterministic per seed.
+func FuzzDisorder(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 40, 5}, uint16(10), int64(1))
+	f.Add([]byte{255, 255, 0, 0}, uint16(1), int64(-3))
+	f.Add([]byte{}, uint16(100), int64(9))
+	f.Fuzz(func(t *testing.T, deltas []byte, boundQ uint16, seed int64) {
+		if len(deltas) > 1<<12 {
+			deltas = deltas[:1<<12]
+		}
+		bound := stream.Time(boundQ%500) + 1
+		// Build an in-order trace: each byte advances the clock by its low
+		// nibble and picks a source from its high bits, IDs sequential.
+		trace := make([]*stream.Tuple, len(deltas))
+		var ts stream.Time
+		for i, d := range deltas {
+			ts += stream.Time(d & 0x0f)
+			trace[i] = &stream.Tuple{
+				ID:     uint64(i + 1),
+				Source: stream.SourceID(d >> 6),
+				TS:     ts,
+				Vals:   []stream.Value{stream.Value(d)},
+			}
+		}
+		run := func() []*stream.Tuple {
+			i := 0
+			next := Disordered(func() (*stream.Tuple, bool) {
+				if i >= len(trace) {
+					return nil, false
+				}
+				tp := trace[i]
+				i++
+				return tp, true
+			}, bound, seed)
+			var out []*stream.Tuple
+			for tp, ok := next(); ok; tp, ok = next() {
+				out = append(out, tp)
+			}
+			return out
+		}
+		out := run()
+		if len(out) != len(trace) {
+			t.Fatalf("lost tuples: %d in, %d out", len(trace), len(out))
+		}
+		seen := make(map[uint64]bool, len(out))
+		var maxTS stream.Time
+		for i, tp := range out {
+			if seen[tp.ID] {
+				t.Fatalf("tuple %d delivered twice", tp.ID)
+			}
+			seen[tp.ID] = true
+			if tp.TS < maxTS-bound {
+				t.Fatalf("tuple %d at %d is %v late; bound %v", tp.ID, i, maxTS-tp.TS, bound)
+			}
+			if tp.TS > maxTS {
+				maxTS = tp.TS
+			}
+		}
+		again := run()
+		for i := range out {
+			if out[i].ID != again[i].ID {
+				t.Fatalf("nondeterministic emission at %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,175 @@
+package source
+
+import (
+	"testing"
+
+	"repro/internal/predicate"
+	"repro/internal/stream"
+)
+
+// TestZipfSkew pins the skew mutator: with a Zipf exponent the low ranks
+// dominate the draw frequency while every value stays inside the domain,
+// and the draws remain deterministic per seed.
+func TestZipfSkew(t *testing.T) {
+	cat, _ := predicate.Clique(3)
+	cfg := UniformConfig(3, 20.0, 50, 2*stream.Minute, 7)
+	for i := range cfg.Specs {
+		cfg.Specs[i].Zipf = 1.5
+	}
+	all := Generate(cat, cfg)
+	if len(all) == 0 {
+		t.Fatal("no arrivals")
+	}
+	counts := map[stream.Value]int{}
+	total := 0
+	for _, tup := range all {
+		for _, v := range tup.Vals {
+			if v < 1 || v > 50 {
+				t.Fatalf("value %d out of [1..50]", v)
+			}
+			counts[v]++
+			total++
+		}
+	}
+	// Under uniform draws value 1 holds ~2% of the mass; Zipf s=1.5 over
+	// [1..50] gives it ~38%. Anything above 20% proves the skew is applied.
+	if frac := float64(counts[1]) / float64(total); frac < 0.20 {
+		t.Fatalf("value 1 carries %.1f%% of draws; want the Zipf head (> 20%%)", frac*100)
+	}
+	again := Generate(cat, cfg)
+	if len(again) != len(all) {
+		t.Fatalf("nondeterministic length: %d vs %d", len(again), len(all))
+	}
+	for i := range all {
+		if all[i].TS != again[i].TS || all[i].Vals[0] != again[i].Vals[0] {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+}
+
+// TestZipfRejectsShallowExponent pins the guard: rand.Zipf needs s > 1, so
+// a spec with 0 < Zipf <= 1 must fail loudly instead of yielding nil draws.
+func TestZipfRejectsShallowExponent(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Zipf=1 should panic")
+		}
+	}()
+	cat, _ := predicate.Clique(2)
+	cfg := UniformConfig(2, 1.0, 10, 10*stream.Second, 1)
+	cfg.Specs[0].Zipf = 1
+	Generate(cat, cfg)
+}
+
+// TestBurstSchedule pins the regime-switching rate schedule: with factor 4
+// over a 40-second period, the first half of each cycle must carry several
+// times the arrivals of the second half.
+func TestBurstSchedule(t *testing.T) {
+	cat, _ := predicate.Clique(2)
+	cfg := UniformConfig(2, 2.0, 10, 4*stream.Minute, 11)
+	period := 40 * stream.Second
+	for i := range cfg.Specs {
+		cfg.Specs[i].BurstFactor = 4
+		cfg.Specs[i].BurstPeriod = period
+	}
+	all := Generate(cat, cfg)
+	var high, low int
+	for _, tup := range all {
+		if tup.TS%period < period/2 {
+			high++
+		} else {
+			low++
+		}
+	}
+	if high < 2*low {
+		t.Fatalf("burst halves not skewed: %d high-regime vs %d base-regime arrivals", high, low)
+	}
+	var last stream.Time
+	for i, tup := range all {
+		if tup.TS < last {
+			t.Fatalf("burst schedule broke timestamp order at %d", i)
+		}
+		last = tup.TS
+	}
+}
+
+// TestDisorderedPermutation pins the disorder mutator: the output is a
+// permutation of the in-order sequence (IDs preserved, each exactly once),
+// every tuple is at most `bound` late relative to the running timestamp
+// maximum, and the perturbation is deterministic per seed.
+func TestDisorderedPermutation(t *testing.T) {
+	cat, _ := predicate.Clique(3)
+	base := UniformConfig(3, 5.0, 20, 2*stream.Minute, 5)
+	inOrder := Generate(cat, base)
+
+	cfg := base
+	cfg.Disorder = 10 * stream.Second
+	perturbed := Generate(cat, cfg)
+
+	if len(perturbed) != len(inOrder) {
+		t.Fatalf("length changed: %d vs %d", len(perturbed), len(inOrder))
+	}
+	seen := make(map[uint64]bool, len(perturbed))
+	var maxTS stream.Time
+	outOfOrder := false
+	for i, tup := range perturbed {
+		if seen[tup.ID] {
+			t.Fatalf("tuple %d delivered twice", tup.ID)
+		}
+		seen[tup.ID] = true
+		if tup.TS < maxTS-cfg.Disorder {
+			t.Fatalf("tuple %d at index %d is %v late; bound %v",
+				tup.ID, i, maxTS-tup.TS, cfg.Disorder)
+		}
+		if tup.TS < maxTS {
+			outOfOrder = true
+		}
+		if tup.TS > maxTS {
+			maxTS = tup.TS
+		}
+		// IDs were assigned pre-perturbation: tuple ID k must be the in-order
+		// sequence's k-th element, values included.
+		orig := inOrder[tup.ID-1]
+		if orig.TS != tup.TS || orig.Source != tup.Source {
+			t.Fatalf("tuple %d does not match its in-order twin", tup.ID)
+		}
+	}
+	if !outOfOrder {
+		t.Fatal("disorder bound 10s produced a fully ordered stream; mutator is a no-op")
+	}
+	again := Generate(cat, cfg)
+	for i := range perturbed {
+		if perturbed[i].ID != again[i].ID {
+			t.Fatalf("nondeterministic disorder at %d", i)
+		}
+	}
+}
+
+// TestStreamMatchesGenerateHostile extends the lazy≡materialized pin to the
+// mutator stack: with skew, bursts and disorder all active, Stream must
+// yield exactly Generate's sequence.
+func TestStreamMatchesGenerateHostile(t *testing.T) {
+	cat, _ := predicate.Clique(3)
+	cfg := UniformConfig(3, 4.0, 30, 90*stream.Second, 13)
+	for i := range cfg.Specs {
+		cfg.Specs[i].Zipf = 2.0
+		cfg.Specs[i].BurstFactor = 3
+		cfg.Specs[i].BurstPeriod = 30 * stream.Second
+	}
+	cfg.Disorder = 5 * stream.Second
+	want := Generate(cat, cfg)
+	next := Stream(cat, cfg)
+	for i, w := range want {
+		g, ok := next()
+		if !ok {
+			t.Fatalf("stream ended early at %d/%d", i, len(want))
+		}
+		if g.ID != w.ID || g.TS != w.TS || g.Source != w.Source {
+			t.Fatalf("stream diverges from generate at %d: got id=%d ts=%v, want id=%d ts=%v",
+				i, g.ID, g.TS, w.ID, w.TS)
+		}
+	}
+	if _, ok := next(); ok {
+		t.Fatal("stream yields beyond generate")
+	}
+}

@@ -4,9 +4,17 @@
 // integer columns in [1..dmax]. Per-source rate and domain overrides support
 // the low-selectivity left-deep setup (stream D fed from [1..10²·dmax]).
 // All randomness is seeded, making every run reproducible.
+//
+// Beyond the paper's friendly traffic, the package provides composable
+// hostile-stream mutators (DESIGN.md §8): Zipf-skewed value domains
+// (SourceSpec.Zipf), burst regime-switching rate schedules
+// (SourceSpec.BurstFactor/BurstPeriod), and bounded out-of-order delivery
+// (Config.Disorder, Disordered). Mutators preserve the lazy-Stream ≡
+// materialized-Generate equivalence.
 package source
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -22,6 +30,20 @@ type SourceSpec struct {
 	DMax int64
 	// DMaxByCol optionally overrides DMax per column index.
 	DMaxByCol map[int]int64
+	// Zipf, when > 1, skews column values: instead of uniform draws over
+	// [1..dmax], values follow a Zipf distribution with exponent Zipf over
+	// the same domain (rank 1 most frequent). Go's rand.Zipf requires the
+	// exponent to exceed 1, so 0 < Zipf <= 1 is rejected at construction.
+	// 0 keeps the paper's uniform domains.
+	Zipf float64
+	// BurstFactor, when > 1, switches the source between a high-rate regime
+	// (Rate*BurstFactor during the first half of each cycle) and the base
+	// Rate (second half) — a deterministic regime-switching schedule that
+	// stresses deadline scheduling and partition balance. 0 or 1 keeps the
+	// stationary Poisson process.
+	BurstFactor float64
+	// BurstPeriod is the regime cycle length; required when BurstFactor > 1.
+	BurstPeriod stream.Time
 }
 
 // Config describes a whole workload.
@@ -32,6 +54,13 @@ type Config struct {
 	Seed int64
 	// Specs holds one entry per catalog source, indexed by SourceID.
 	Specs []SourceSpec
+	// Disorder, when > 0, perturbs delivery order: each tuple is delayed by
+	// a uniform jitter in [0, Disorder] application-time units, so tuples
+	// can arrive up to Disorder late relative to timestamp order. IDs are
+	// assigned in timestamp order BEFORE perturbation, so the disordered
+	// sequence is a permutation of the in-order one and multiset checks
+	// line up element-wise. 0 keeps the paper's in-order delivery.
+	Disorder stream.Time
 }
 
 // UniformConfig builds a Config where every source shares rate and domain.
@@ -54,28 +83,69 @@ type gen struct {
 	rng     *rand.Rand
 	t       stream.Time
 	horizon stream.Time
+	// zipfs caches one Zipf variate generator per distinct domain size so
+	// repeated draws reuse the precomputed rejection constants. All draws
+	// still come from the single per-source rng, keeping the draw sequence
+	// deterministic.
+	zipfs map[int64]*rand.Zipf
 }
 
 func newGen(cat *stream.Catalog, cfg Config, id stream.SourceID) *gen {
-	return &gen{
+	g := &gen{
 		id:      id,
 		spec:    cfg.Specs[id],
 		schema:  cat.Source(id),
 		rng:     rand.New(rand.NewSource(cfg.Seed + int64(id)*7919)),
 		horizon: cfg.Horizon,
 	}
+	if z := g.spec.Zipf; z != 0 {
+		if z <= 1 {
+			panic(fmt.Sprintf("source: Zipf exponent must be > 1, got %v", z))
+		}
+		g.zipfs = make(map[int64]*rand.Zipf)
+	}
+	return g
+}
+
+// rate returns the effective arrival rate at application time t under the
+// burst schedule: Rate*BurstFactor during the first half of each BurstPeriod
+// cycle, the base Rate during the second half.
+func (g *gen) rate(t stream.Time) float64 {
+	f, p := g.spec.BurstFactor, g.spec.BurstPeriod
+	if f <= 1 || p <= 0 {
+		return g.spec.Rate
+	}
+	if t%p < p/2 {
+		return g.spec.Rate * f
+	}
+	return g.spec.Rate
+}
+
+// draw produces one column value over domain [1..d] — uniform by default,
+// Zipf-skewed (rank 1 most frequent) when the spec requests it.
+func (g *gen) draw(d int64) stream.Value {
+	if g.zipfs == nil {
+		return stream.Value(g.rng.Int63n(d) + 1)
+	}
+	z, ok := g.zipfs[d]
+	if !ok {
+		z = rand.NewZipf(g.rng, g.spec.Zipf, 1, uint64(d-1))
+		g.zipfs[d] = z
+	}
+	return stream.Value(z.Uint64()) + 1
 }
 
 // next returns the source's next arrival, or nil once the horizon is hit.
 // Tuple IDs are left unassigned; the merging caller assigns them in global
 // delivery order.
 func (g *gen) next() *stream.Tuple {
-	// Exponential inter-arrival: -ln(U)/λ seconds.
+	// Exponential inter-arrival: -ln(U)/λ seconds, with λ read from the
+	// burst schedule at the current regime.
 	u := g.rng.Float64()
 	if u <= 0 {
 		u = math.SmallestNonzeroFloat64
 	}
-	gap := stream.Time(-math.Log(u) / g.spec.Rate * float64(stream.Second))
+	gap := stream.Time(-math.Log(u) / g.rate(g.t) * float64(stream.Second))
 	if gap < 1 {
 		gap = 1
 	}
@@ -89,7 +159,7 @@ func (g *gen) next() *stream.Tuple {
 		if o, ok := g.spec.DMaxByCol[c]; ok {
 			d = o
 		}
-		vals[c] = stream.Value(g.rng.Int63n(d) + 1)
+		vals[c] = g.draw(d)
 	}
 	return &stream.Tuple{Source: g.id, TS: g.t, Vals: vals}
 }
@@ -110,7 +180,7 @@ func Stream(cat *stream.Catalog, cfg Config) func() (*stream.Tuple, bool) {
 		heads[id] = gens[id].next()
 	}
 	var nextID uint64
-	return func() (*stream.Tuple, bool) {
+	inOrder := func() (*stream.Tuple, bool) {
 		best := -1
 		for i, h := range heads {
 			// Strict < keeps the lowest source id on timestamp ties —
@@ -128,6 +198,90 @@ func Stream(cat *stream.Catalog, cfg Config) func() (*stream.Tuple, bool) {
 		t.ID = nextID
 		return t, true
 	}
+	if cfg.Disorder > 0 {
+		// The jitter rng occupies the id=-1 slot of the per-source seed
+		// family, so it never collides with a source's draw sequence.
+		return Disordered(inOrder, cfg.Disorder, cfg.Seed-7919)
+	}
+	return inOrder
+}
+
+// delayed is one in-flight tuple of a Disordered iterator: the tuple plus
+// its jittered delivery time.
+type delayed struct {
+	t        *stream.Tuple
+	delivery stream.Time
+}
+
+// Disordered wraps an in-order (non-decreasing TS, IDs already assigned)
+// tuple iterator and re-emits its tuples in jittered delivery order:
+// delivery(t) = t.TS + uniform[0, bound]. Timestamps and IDs are untouched —
+// only the emission order is perturbed — so the output is a permutation of
+// the input in which every tuple appears at most `bound` late relative to
+// timestamp order (the bounded-disorder model of DESIGN.md §8). The
+// emission order is deterministic for a given seed: ties on delivery time
+// break by tuple ID. Memory is O(arrivals within one bound), not O(stream).
+func Disordered(next func() (*stream.Tuple, bool), bound stream.Time, seed int64) func() (*stream.Tuple, bool) {
+	if bound <= 0 {
+		return next
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var h []delayed // binary min-heap on (delivery, ID)
+	less := func(a, b delayed) bool {
+		if a.delivery != b.delivery {
+			return a.delivery < b.delivery
+		}
+		return a.t.ID < b.t.ID
+	}
+	push := func(d delayed) {
+		h = append(h, d)
+		for i := len(h) - 1; i > 0; {
+			p := (i - 1) / 2
+			if !less(h[i], h[p]) {
+				break
+			}
+			h[i], h[p] = h[p], h[i]
+			i = p
+		}
+	}
+	pop := func() delayed {
+		top := h[0]
+		last := len(h) - 1
+		h[0] = h[last]
+		h[last] = delayed{}
+		h = h[:last]
+		for i := 0; ; {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < len(h) && less(h[l], h[m]) {
+				m = l
+			}
+			if r < len(h) && less(h[r], h[m]) {
+				m = r
+			}
+			if m == i {
+				break
+			}
+			h[i], h[m] = h[m], h[i]
+			i = m
+		}
+		return top
+	}
+	head, headOK := next()
+	return func() (*stream.Tuple, bool) {
+		// Admit source tuples until the next one can no longer precede the
+		// current heap minimum. Any future tuple f satisfies
+		// delivery(f) >= f.TS >= head.TS, so once head.TS exceeds the heap
+		// minimum's delivery, that minimum is globally next.
+		for headOK && (len(h) == 0 || head.TS <= h[0].delivery) {
+			push(delayed{t: head, delivery: head.TS + stream.Time(rng.Int63n(int64(bound)+1))})
+			head, headOK = next()
+		}
+		if len(h) == 0 {
+			return nil, false
+		}
+		return pop().t, true
+	}
 }
 
 // Generate produces the merged, timestamp-ordered arrival sequence for the
@@ -135,6 +289,16 @@ func Stream(cat *stream.Catalog, cfg Config) func() (*stream.Tuple, bool) {
 // order total and deterministic. Stream is the lazy form of the same
 // sequence.
 func Generate(cat *stream.Catalog, cfg Config) []*stream.Tuple {
+	if cfg.Disorder > 0 {
+		// Materialize through Stream so the disordered sequence is
+		// element-wise identical to the lazy iterator's.
+		next := Stream(cat, cfg)
+		var all []*stream.Tuple
+		for t, ok := next(); ok; t, ok = next() {
+			all = append(all, t)
+		}
+		return all
+	}
 	var all []*stream.Tuple
 	for id := 0; id < cat.NumSources(); id++ {
 		g := newGen(cat, cfg, stream.SourceID(id))

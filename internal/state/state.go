@@ -14,7 +14,7 @@
 // result generation.
 //
 // Hash index (see DESIGN.md §3): a State may additionally be keyed on the
-// equi-join columns of the crossing predicates (SetKey). Entries then live
+// exact-equi columns of the crossing predicates (SetKey). Entries then live
 // both in the arrival-order slice and in per-key-hash buckets, each kept in
 // ascending sequence order, so a probe visits only the entries sharing the
 // probing tuple's key values (plus hash collisions, which the caller's
@@ -22,6 +22,15 @@
 // state. Entries whose composite lacks a key component fall into a loose
 // overflow list that every probe also visits, preserving the vacuous-truth
 // semantics of predicate.Eq.Holds.
+//
+// Band predicates (predicate.Eq.Tol > 0, DESIGN.md §8) never enter a key:
+// hash equality would wrongly reject within-band pairs. A mixed conjunction
+// keys on its exact-equi subset — the index then over-approximates the
+// candidate set and the caller's full predicate evaluation (band atoms
+// included) does the final filtering — while a pure-band conjunction yields
+// no key at all, leaving the state scan-only. Correctness is unaffected
+// either way; only the probe's candidate count degrades, which is exactly
+// the degradation BENCH_hostile.json measures.
 package state
 
 import (
@@ -325,11 +334,23 @@ func (s *State) ProbeNext(h uint64, after uint64) (Entry, bool) {
 // not monotone in general (a composite's MinTS can predate its arrival), so
 // the scan filters rather than truncates a prefix.
 func (s *State) Purge(now, window stream.Time) int {
+	return s.PurgeRetired(now, window, nil)
+}
+
+// PurgeRetired is Purge with a retirement hook: each removed entry is passed
+// to retire (when non-nil) before it is dropped. core's exact-delivery mode
+// uses it to keep expired entries reachable for late recovery probes — a
+// composite released by an upstream resumption can still form pairs REF
+// formed live with partners this state has already expired (DESIGN.md §4).
+func (s *State) PurgeRetired(now, window stream.Time, retire func(Entry)) int {
 	kept := s.entries[:0]
 	purged := 0
 	s.minDirty = false
 	for _, e := range s.entries {
 		if e.C.MinTS+window <= now {
+			if retire != nil {
+				retire(e)
+			}
 			s.acct.Free(e.C.DeepSizeBytes())
 			s.indexRemove(e)
 			purged++
