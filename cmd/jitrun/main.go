@@ -12,6 +12,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/stream"
 )
 
@@ -35,6 +37,11 @@ func main() {
 	burstPeriod := flag.Float64("burst-period", 0, "burst cycle length in minutes (0 = one window)")
 	disorder := flag.Float64("disorder", 0, "deliver the stream out of timestamp order with delays up to this many seconds; the engine's watermark admits them exactly (DESIGN.md §8)")
 	band := flag.Int64("band", 0, "replace every equi-join predicate with the band predicate |l-r| <= band (defeats hash keying and key sharding; DESIGN.md §8)")
+	stats := flag.Bool("stats", false, "print the per-operator stats table at exit (probes, MNS detections, suspensions, suppressed pairs)")
+	obsAddr := flag.String("obs-addr", "", "serve the live ops endpoint on this address during the run: Prometheus /metrics, NDJSON /trace, /debug/pprof (DESIGN.md §9)")
+	obsAggregate := flag.Bool("obs-aggregate", false, "with -shards, aggregate per-replica series on the ops endpoint (one tracer per replica, per-shard labels)")
+	obsSample := flag.Float64("obs-sample", 0, "deterministic sampling interval for the obs time series, in seconds of stream time (0 = one window)")
+	traceOut := flag.String("trace-out", "", "write the run's trace events to this file in Chrome trace format (open in chrome://tracing or Perfetto)")
 	flag.Parse()
 
 	explicit := map[string]bool{}
@@ -81,6 +88,26 @@ func main() {
 	if explicit["adapt-epoch"] && *adaptEpoch < 0 {
 		fail("-adapt-epoch cannot be negative (minutes; 0 = one window), got %g", *adaptEpoch)
 	}
+	tracing := *obsAddr != "" || *traceOut != ""
+	if explicit["obs-sample"] && *obsSample < 0 {
+		fail("-obs-sample cannot be negative (seconds; 0 = one window), got %g", *obsSample)
+	}
+	if explicit["obs-sample"] && !tracing {
+		fail("-obs-sample has no effect without -obs-addr or -trace-out")
+	}
+	// The ops endpoint on a sharded run needs per-replica aggregation — a
+	// single tracer cannot observe N engines. As with -drain above, an
+	// explicit -obs-aggregate=false contradicts the combination and is
+	// rejected; merely unset gets a notice and is forced on.
+	if *obsAddr != "" && *shards > 1 {
+		if explicit["obs-aggregate"] && !*obsAggregate {
+			fail("-obs-aggregate=false contradicts -obs-addr with -shards=%d: the ops endpoint needs per-replica aggregation to observe a sharded run (DESIGN.md §9)", *shards)
+		}
+		if !*obsAggregate {
+			fmt.Fprintln(os.Stderr, "jitrun: notice: forcing per-replica aggregation (-obs-aggregate) for the ops endpoint on a sharded run")
+			*obsAggregate = true
+		}
+	}
 
 	p := exp.Params{
 		N:       *n,
@@ -124,8 +151,63 @@ func main() {
 	if p.Adapt {
 		p.AdaptLog = os.Stdout
 	}
+	p.ObsAddr = *obsAddr
+	p.ObsAggregate = *obsAggregate
 	if err := p.Validate(); err != nil {
 		fail("%v", err)
+	}
+
+	// Observability wiring (DESIGN.md §9): one tracer per engine — single
+	// runs get one, sharded runs one per replica via TraceFor. The trace
+	// file uses an unlocked MemorySink (read only after the run); the live
+	// /trace endpoint a locked RingSink.
+	var (
+		tracers []*obs.Tracer
+		mems    []*obs.MemorySink
+	)
+	if tracing {
+		sampleEvery := p.Window
+		if *obsSample > 0 {
+			sampleEvery = stream.Time(*obsSample * float64(stream.Second))
+		}
+		reg := obs.NewRegistry()
+		newTracer := func(shard int) *obs.Tracer {
+			var tee obs.TeeSink
+			if *traceOut != "" {
+				m := &obs.MemorySink{}
+				mems = append(mems, m)
+				tee = append(tee, m)
+			}
+			if *obsAddr != "" {
+				tee = append(tee, obs.NewRingSink(4096))
+			}
+			var sink obs.Sink = tee
+			if len(tee) == 1 {
+				sink = tee[0]
+			}
+			tr := obs.New(obs.Options{
+				Sink:        sink,
+				SampleEvery: sampleEvery,
+				WallLatency: *obsAddr != "",
+				Shard:       shard,
+			})
+			tracers = append(tracers, tr)
+			reg.Register(tr)
+			return tr
+		}
+		if p.Shards > 1 {
+			p.TraceFor = newTracer
+		} else {
+			p.Trace = newTracer(0)
+		}
+		if *obsAddr != "" {
+			srv, err := obs.Serve(*obsAddr, reg)
+			if err != nil {
+				fail("%v", err)
+			}
+			defer srv.Close()
+			fmt.Fprintf(os.Stderr, "jitrun: ops endpoint at http://%s/metrics (also /trace, /debug/pprof)\n", srv.Addr())
+		}
 	}
 
 	if p.Shards > 1 {
@@ -148,6 +230,10 @@ func main() {
 				i, sr.Arrivals, sr.Results, sr.CostUnits, sr.PeakMemKB)
 		}
 		fmt.Println(r.Counters.String())
+		if *stats {
+			printOpStats(r.Ops)
+		}
+		obsEpilogue(tracers, mems, *traceOut)
 		return
 	}
 	r := p.Run()
@@ -159,6 +245,47 @@ func main() {
 	fmt.Printf("arrivals=%d results=%d cost=%d wall=%v peakMem=%.1fKB\n",
 		r.Arrivals, r.Results, r.CostUnits, r.WallTime, r.PeakMemKB)
 	fmt.Println(r.Counters.String())
+	if *stats {
+		printOpStats(r.Ops)
+	}
+	obsEpilogue(tracers, mems, *traceOut)
+}
+
+// printOpStats renders the per-operator stats table (-stats).
+func printOpStats(ops []metrics.NamedOpStats) {
+	fmt.Println("per-operator stats:")
+	fmt.Printf("  %-24s %12s %12s %12s %12s\n", "operator", "probes", "mns", "suspended", "suppressed")
+	for _, o := range ops {
+		fmt.Printf("  %-24s %12d %12d %12d %12d\n",
+			o.Name, o.Stats.Probes, o.Stats.MNSDetected, o.Stats.Suspended, o.Stats.SuppressedPairs)
+	}
+}
+
+// obsEpilogue prints the merged event-time latency histogram and writes the
+// Chrome trace file, if tracing was on.
+func obsEpilogue(tracers []*obs.Tracer, mems []*obs.MemorySink, traceOut string) {
+	if len(tracers) == 0 {
+		return
+	}
+	var lat obs.Histogram
+	for _, tr := range tracers {
+		lat.Merge(tr.Latency())
+	}
+	fmt.Printf("latency(event-ms): %s\n", lat.String())
+	if traceOut == "" {
+		return
+	}
+	// Per-shard sinks concatenate in shard order: each shard's own event
+	// order is deterministic, and ChromeTrace keeps shards apart by pid.
+	var evs []obs.Event
+	for _, m := range mems {
+		evs = append(evs, m.Events()...)
+	}
+	if err := os.WriteFile(traceOut, obs.ChromeTrace(evs), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "jitrun: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("trace: wrote %d events to %s\n", len(evs), traceOut)
 }
 
 func planName(bushy bool) string {

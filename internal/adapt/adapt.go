@@ -244,6 +244,7 @@ func (c *Controller) AtBarrier() {
 		return
 	}
 	observed := c.b.Counters.CostUnits() - c.lastCost
+	c.b.Trace.Epoch(c.b.Trace.Now(), observed)
 	var scores map[string]uint64
 	// The idle gate mirrors the single-engine path: a near-idle replica
 	// neither scores nor lets the fleet decide this round (the coordinator
@@ -282,6 +283,8 @@ func (c *Controller) Migrate(cut stream.Time, b *plan.Built) *plan.Built {
 	if c.cfg.MaxMigrations > 0 && c.migrations >= c.cfg.MaxMigrations {
 		return nil
 	}
+	note := c.shape.Canonical() + " -> " + target.Canonical()
+	b.Trace.MigrationStart(cut, note)
 	snap := b.SnapshotInWindow(cut)
 	nb := b.Rebuild(target)
 	for _, j := range nb.Joins {
@@ -291,6 +294,11 @@ func (c *Controller) Migrate(cut stream.Time, b *plan.Built) *plan.Built {
 	// discarded before anything reaches it.
 	nb.Sink = c.sink
 	nb.RootJoin().SetConsumer(c.tap, operator.Left)
+	// The successor inherits the run's tracer before the replay, so replay
+	// probes and suspensions are visible in the trace, attributed to the new
+	// plan's operators (DESIGN.md §9).
+	nb.SetTrace(b.Trace)
+	b.Trace.MigrationCut(cut, len(snap), note)
 	// Both plans are resident while the snapshot replays: charge the
 	// outgoing plan's live bytes to the successor's account for the span of
 	// the replay, and absorb the old high-water mark.
@@ -309,6 +317,7 @@ func (c *Controller) Migrate(cut stream.Time, b *plan.Built) *plan.Built {
 	nb.Counters.Migrations++
 	c.sink.SetCounters(nb.Counters)
 	c.tap.ctr = nb.Counters
+	nb.Trace.MigrationDone(cut, nb.Counters.MigrationDups, note)
 	c.logf("adapt: t=%v migrate %s -> %s (replayed %d in-window arrivals, %d dups absorbed so far)",
 		cut, c.shape.Canonical(), target.Canonical(), len(snap), nb.Counters.MigrationDups)
 	c.shape = target
@@ -325,6 +334,7 @@ func (c *Controller) Migrate(cut stream.Time, b *plan.Built) *plan.Built {
 // the shape question, shadow-score the shapes, apply margin+patience.
 func (c *Controller) evaluateEpoch(now stream.Time) {
 	observed := c.b.Counters.CostUnits() - c.lastCost
+	c.b.Trace.Epoch(now, observed)
 	mns, susp, suppr := c.statDeltas()
 	prev := c.prevObserved
 	if observed < c.cfg.minEpochCost() {

@@ -16,6 +16,7 @@ func (j *JoinOp) Feedback(msg feedback.Message) []*stream.Composite {
 	if !j.mode.enabled() || j.mode.IgnoreFeedback {
 		return nil
 	}
+	j.trace.Feedback(j.name, msg.Cmd.String(), len(msg.MNS))
 	switch msg.Cmd {
 	case feedback.Suspend:
 		for _, m := range msg.MNS {
@@ -154,6 +155,7 @@ func (j *JoinOp) suspendTypeI(s *side, m *feedback.MNS) {
 		}
 		s.black.Park(entry, feedback.Suspended{E: se, Cursor: cursor, Pending: pending})
 		j.ctr.Suspended++
+		j.trace.Suspend(j.name, 1)
 	}
 }
 
@@ -291,6 +293,7 @@ func (j *JoinOp) reactivate(s *side, e *feedback.Entry, out *[]*stream.Composite
 			continue // expired while suspended; its results were never demanded
 		}
 		j.ctr.Resumed++
+		j.trace.Resume(j.name, 1)
 		ephemeral := susp.E.C.MinTS+j.window <= j.now
 		j.activate(activation{
 			c:         susp.E.C,
@@ -492,6 +495,7 @@ func (j *JoinOp) sweepExact() {
 		for _, susp := range s.black.TakeExpiredTuples(j.now, j.window) {
 			j.ctr.Purged++
 			j.ctr.Resumed++
+			j.trace.Resume(j.name, 1)
 			var out []*stream.Composite
 			j.activate(activation{
 				c:         susp.E.C,

@@ -8,6 +8,7 @@ import (
 	"repro/internal/feedback"
 	"repro/internal/lattice"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/operator"
 	"repro/internal/predicate"
 	"repro/internal/state"
@@ -142,6 +143,11 @@ type JoinOp struct {
 	// each epoch to see where the current shape wastes work (DESIGN.md §7).
 	stats metrics.OpStats
 
+	// trace is the attached observability layer; nil disables it. The tracer
+	// only observes — it never writes anything the counters measure
+	// (DESIGN.md §9), and every emission site is nil-safe.
+	trace *obs.Tracer
+
 	in     [2]*side
 	marks  *feedback.MarkTable
 	now    stream.Time
@@ -214,6 +220,10 @@ func (j *JoinOp) SetConsumer(c operator.Consumer, port operator.Port) {
 
 // Name implements operator.Op.
 func (j *JoinOp) Name() string { return j.name }
+
+// SetTrace attaches (or, with nil, detaches) the observability tracer.
+// plan.Built.SetTrace fans it out across the wired tree.
+func (j *JoinOp) SetTrace(tr *obs.Tracer) { j.trace = tr }
 
 // OutSources implements operator.Op.
 func (j *JoinOp) OutSources() stream.SourceSet {
@@ -328,6 +338,7 @@ func (j *JoinOp) Consume(c *stream.Composite, port operator.Port) {
 			s.black.Park(e, feedback.Suspended{E: state.Entry{C: c, Seq: seq}, Cursor: 0})
 			j.ctr.Suspended++
 			j.stats.Suspended++
+			j.trace.Suspend(j.name, 1)
 			return
 		}
 	}
@@ -400,6 +411,7 @@ func (j *JoinOp) activate(a activation) {
 			s.black.Park(e, feedback.Suspended{E: state.Entry{C: a.c, Seq: a.seq}, Cursor: 0})
 			j.ctr.Suspended++
 			j.stats.Suspended++
+			j.trace.Suspend(j.name, 1)
 			diverted = true
 		}
 	}
@@ -514,6 +526,7 @@ func (j *JoinOp) probeInsert(a activation, s, o *side) {
 			})
 			j.ctr.Suspended++
 			j.stats.Suspended++
+			j.trace.Suspend(j.name, 1)
 			f.parked = true
 		}
 	}
@@ -547,6 +560,7 @@ func (j *JoinOp) divert(c *stream.Composite, port operator.Port) bool {
 	s.black.Park(e, feedback.Suspended{E: state.Entry{C: c, Seq: seq}, Cursor: 0})
 	j.ctr.Suspended++
 	j.stats.Suspended++
+	j.trace.Suspend(j.name, 1)
 	return true
 }
 
@@ -593,6 +607,10 @@ const (
 func (j *JoinOp) probeState(f *probeFrame, s, o *side, det *detectCtx, collect *[]*stream.Composite, fresh bool) {
 	j.ctr.Probes++
 	j.stats.Probes++
+	if j.trace != nil {
+		// Explicit guard: the scan-bound argument costs a state read.
+		j.trace.Probe(j.name, o.st.Len(), f.seq)
+	}
 	if len(s.key) > 0 && o.st.Indexed() {
 		if h, ok := s.key.Hash(f.input); ok {
 			start := f.lastPartner

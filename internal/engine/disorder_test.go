@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/predicate"
 	"repro/internal/source"
@@ -89,17 +90,30 @@ func TestDisorderExactEquivalence(t *testing.T) {
 // TestDisorderBeyondBoundConservation pins the other half of the
 // contract: when the stream's disorder exceeds the engine's bound, late
 // tuples are dropped and counted — processed plus dropped equals ingested,
-// nothing vanishes silently.
+// nothing vanishes silently. With a tracer attached, every drop must also
+// emit exactly one late-drop trace event (the nonzero half of the scenario
+// suite's event-conservation invariant).
 func TestDisorderBeyondBoundConservation(t *testing.T) {
 	cat, conj, _, perturbed := disorderWorkload(t, 20*stream.Second)
 	const engineBound = 2 * stream.Second // far below the stream's 20s disorder
-	r, _ := runDisordered(cat, conj, perturbed, core.REF(), engineBound)
+	b := plan.BuildTree(cat, conj, plan.Bushy(4), plan.Options{
+		Window: 2 * stream.Minute, Mode: core.REF(), KeepResults: true,
+	})
+	var sink obs.CountingSink
+	b.SetTrace(obs.New(obs.Options{Sink: &sink}))
+	r := NewWithOptions(b, Options{Drain: true, Disorder: engineBound}).Run(perturbed)
 	if r.Counters.LateDropped == 0 {
 		t.Fatal("expected late drops with engine bound below the stream's disorder")
 	}
 	if got := uint64(r.Arrivals) + r.Counters.LateDropped; got != uint64(len(perturbed)) {
 		t.Fatalf("conservation violated: processed %d + dropped %d = %d, ingested %d",
 			r.Arrivals, r.Counters.LateDropped, got, len(perturbed))
+	}
+	if got := sink.Count(obs.KindLateDrop); got != r.Counters.LateDropped {
+		t.Fatalf("late-drop events %d != LateDropped counter %d", got, r.Counters.LateDropped)
+	}
+	if got := sink.Count(obs.KindArrival); got != uint64(r.Arrivals) {
+		t.Fatalf("arrival events %d != processed arrivals %d", got, r.Arrivals)
 	}
 }
 

@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/stream"
 )
@@ -52,6 +53,9 @@ type Result struct {
 	OrderViolations uint64
 	// Arrivals is the number of input tuples processed.
 	Arrivals int
+	// Ops is the per-operator stat breakdown at run end, in plan order
+	// (producers before consumers) — the rows `jitrun -stats` prints.
+	Ops []metrics.NamedOpStats
 }
 
 // Options configures a run.
@@ -179,9 +183,15 @@ func ChanSource(ch <-chan *stream.Tuple) func() (*stream.Tuple, bool) {
 func (e *Engine) RunStream(next func() (*stream.Tuple, bool)) Result {
 	b := e.built
 	start := time.Now()
+	// The run's tracer is the initial plan's: migrations hand it to each
+	// successor plan (adapt.Controller.Migrate → SetTrace), while this local
+	// keeps engine-level events (arrivals, watermarks, clock) attached to
+	// the run even while b is being swapped. Nil means tracing is off and
+	// every call below is a pointer test (DESIGN.md §9).
+	tr := b.Trace
 	var late uint64
 	if e.opts.Disorder > 0 {
-		next = reorderSource(next, e.opts.Disorder, &late)
+		next = reorderSource(next, e.opts.Disorder, &late, tr)
 	}
 	n := b.Catalog.NumSources()
 	sched := newScheduler(b.Joins)
@@ -197,6 +207,8 @@ func (e *Engine) RunStream(next func() (*stream.Tuple, bool)) Result {
 		}
 		arrivals++
 		lastTS = t.TS
+		tr.Advance(t.TS)
+		tr.Arrival(t)
 		if e.opts.Reopt != nil && e.opts.Reopt.Decide(t, b) {
 			// Quiesce the outgoing plan to the cut: fire every timer deadline
 			// at or before t.TS (cascades included, via the drain loop), so
@@ -207,7 +219,7 @@ func (e *Engine) RunStream(next func() (*stream.Tuple, bool)) Result {
 			if e.opts.SweepEveryArrival {
 				sched.refresh()
 			}
-			sched.drain(t.TS, b.Counters)
+			sched.drain(t.TS, b.Counters, tr)
 			if nb := e.opts.Reopt.Migrate(t.TS, b); nb != nil {
 				b = nb
 				e.built = nb
@@ -242,12 +254,17 @@ func (e *Engine) RunStream(next func() (*stream.Tuple, bool)) Result {
 		if e.opts.SweepEveryArrival {
 			sched.refresh() // the arrival loop kept no schedule; build one
 		}
-		sched.drain(horizon, b.Counters)
+		sched.drain(horizon, b.Counters, tr)
 	}
 	// Late drops are charged at run end so they survive mid-run plan
 	// migrations (a migration swaps b and its Counters).
 	b.Counters.LateDropped += late
+	tr.Finish()
 	wall := time.Since(start)
+	ops := make([]metrics.NamedOpStats, len(b.Joins))
+	for i, j := range b.Joins {
+		ops[i] = metrics.NamedOpStats{Name: j.Name(), Stats: j.Stats()}
+	}
 	return Result{
 		Results:         b.Sink.Count(),
 		CostUnits:       b.Counters.CostUnits(),
@@ -256,6 +273,7 @@ func (e *Engine) RunStream(next func() (*stream.Tuple, bool)) Result {
 		Counters:        *b.Counters,
 		OrderViolations: b.Sink.OrderViolations,
 		Arrivals:        arrivals,
+		Ops:             ops,
 	}
 }
 
@@ -272,7 +290,7 @@ func (e *Engine) RunStream(next func() (*stream.Tuple, bool)) Result {
 // released; they are dropped and counted in *late. At end of source the
 // remaining buffer flushes in (TS, ID) order, ahead of the engine's drain
 // phase, so the drain cut stays exact.
-func reorderSource(next func() (*stream.Tuple, bool), bound stream.Time, late *uint64) func() (*stream.Tuple, bool) {
+func reorderSource(next func() (*stream.Tuple, bool), bound stream.Time, late *uint64, tr *obs.Tracer) func() (*stream.Tuple, bool) {
 	var h []*stream.Tuple // binary min-heap on (TS, ID)
 	less := func(a, b *stream.Tuple) bool {
 		if a.TS != b.TS {
@@ -340,9 +358,11 @@ func reorderSource(next func() (*stream.Tuple, bool), bound stream.Time, late *u
 			}
 			if t.TS > maxSeen {
 				maxSeen = t.TS
+				tr.Watermark(maxSeen - bound)
 			}
 			if t.TS < maxSeen-bound {
 				*late++
+				tr.LateDrop(t, maxSeen-bound)
 				continue
 			}
 			push(t)
@@ -431,13 +451,14 @@ func (s *scheduler) fireDue(now stream.Time, ctr *metrics.Counters) {
 // deadline still refuses to advance after an exact sweep, drops it. The
 // clock never moves backwards, so the loop reaches the horizon — or the
 // last finite deadline — in finitely many rounds.
-func (s *scheduler) drain(horizon stream.Time, ctr *metrics.Counters) {
+func (s *scheduler) drain(horizon stream.Time, ctr *metrics.Counters, tr *obs.Tracer) {
 	prev, stuck := stream.Time(-1), 0
 	for {
 		d, ok := s.peek()
 		if !ok || d > horizon {
 			return
 		}
+		tr.Advance(d)
 		if d == prev {
 			stuck++
 			switch {

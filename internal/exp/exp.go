@@ -33,6 +33,7 @@ import (
 	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/predicate"
 	"repro/internal/shard"
@@ -116,6 +117,23 @@ type Params struct {
 	// return the delivery keys — the multiset-equivalence hook of the
 	// scenario harness (internal/scenario). Costs O(results) memory.
 	KeepResults bool
+	// ObsAddr is the live ops endpoint address ("-obs-addr"); recorded here
+	// only for flag-combination validation — the CLI owns binding the
+	// listener (internal/obs.Serve).
+	ObsAddr string
+	// ObsAggregate opts a sharded run into per-replica series aggregation on
+	// the ops endpoint ("-obs-aggregate"): one tracer per replica, per-shard
+	// labels. Validate rejects ObsAddr on a sharded run when this is
+	// explicitly off — a single tracer cannot observe N engines.
+	ObsAggregate bool
+	// Trace attaches an observability tracer to single-engine runs
+	// (DESIGN.md §9). Nil (the default) leaves observation disabled — the
+	// zero-overhead path.
+	Trace *obs.Tracer
+	// TraceFor supplies per-replica tracers for sharded runs (one tracer per
+	// replica; nil returns leave that replica untraced). Ignored by
+	// single-engine runs.
+	TraceFor func(shard int) *obs.Tracer
 }
 
 // Validate rejects configurations the engine would otherwise accept
@@ -155,6 +173,10 @@ func (p Params) Validate() error {
 		return fmt.Errorf("disorder bound cannot be negative (%v)", p.Disorder)
 	case p.Band < 0:
 		return fmt.Errorf("band tolerance cannot be negative (%d)", p.Band)
+	case p.ObsAggregate && p.ObsAddr == "":
+		return fmt.Errorf("replica aggregation set but the ops endpoint is off (set -obs-addr)")
+	case p.ObsAddr != "" && p.Shards > 1 && !p.ObsAggregate:
+		return fmt.Errorf("ops endpoint on a sharded run requires replica aggregation (enable -obs-aggregate)")
 	}
 	return nil
 }
@@ -204,6 +226,9 @@ func (p Params) RunKeys() (engine.Result, []string) {
 // KeepResults is set).
 func (p Params) runSingle() (engine.Result, *plan.Built) {
 	cat, cfg, b := p.build()
+	if p.Trace != nil {
+		b.SetTrace(p.Trace)
+	}
 	opts := engine.Options{Drain: p.Drain, Horizon: p.DrainHorizon, Disorder: p.Disorder}
 	if p.Adapt {
 		// Adaptive execution implies the drain: the migration handoff's
@@ -225,8 +250,9 @@ func (p Params) runSingle() (engine.Result, *plan.Built) {
 func (p Params) RunSharded() shard.Result {
 	cat, cfg, b := p.build()
 	opts := shard.Options{
-		Shards: p.Shards,
-		Engine: engine.Options{Drain: true, Horizon: p.DrainHorizon, Disorder: p.Disorder},
+		Shards:   p.Shards,
+		Engine:   engine.Options{Drain: true, Horizon: p.DrainHorizon, Disorder: p.Disorder},
+		TraceFor: p.TraceFor,
 	}
 	if p.Adapt {
 		c := p.adaptConfig()

@@ -147,6 +147,22 @@ type OpStats struct {
 	SuppressedPairs uint64
 }
 
+// Add accumulates o into s component-wise — the merge used when sharded
+// runs aggregate per-replica operator stats by operator name.
+func (s *OpStats) Add(o OpStats) {
+	s.Probes += o.Probes
+	s.MNSDetected += o.MNSDetected
+	s.Suspended += o.Suspended
+	s.SuppressedPairs += o.SuppressedPairs
+}
+
+// NamedOpStats pairs an operator's name with its stats — the per-operator
+// row an engine run reports (engine.Result.Ops, `jitrun -stats`).
+type NamedOpStats struct {
+	Name  string
+	Stats OpStats
+}
+
 // Delta returns the component-wise difference s - prev.
 func (s OpStats) Delta(prev OpStats) OpStats {
 	return OpStats{

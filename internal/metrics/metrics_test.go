@@ -64,6 +64,41 @@ func TestCountersAddCoversEveryField(t *testing.T) {
 	}
 }
 
+// TestOpStatsAddCoversEveryField is the OpStats twin of the Counters pin:
+// shard merging (engine.Result.Ops aggregation) and the obs sampler's
+// per-operator deltas both go through Add/Delta, so a new OpStats field must
+// flow through both.
+func TestOpStatsAddCoversEveryField(t *testing.T) {
+	var src, dst OpStats
+	sv := reflect.ValueOf(&src).Elem()
+	for i := 0; i < sv.NumField(); i++ {
+		f := sv.Field(i)
+		if f.Kind() != reflect.Uint64 {
+			t.Fatalf("field %s is %s; Add/Delta and this test assume uint64 stats",
+				sv.Type().Field(i).Name, f.Kind())
+		}
+		f.SetUint(uint64(i + 1))
+	}
+	dst.Add(src)
+	dst.Add(src)
+	dv := reflect.ValueOf(&dst).Elem()
+	for i := 0; i < dv.NumField(); i++ {
+		if got, want := dv.Field(i).Uint(), uint64(2*(i+1)); got != want {
+			t.Errorf("Add dropped or miscounted field %s: got %d, want %d",
+				dv.Type().Field(i).Name, got, want)
+		}
+	}
+	// Delta must invert Add field-wise.
+	d := dst.Delta(src)
+	ddv := reflect.ValueOf(&d).Elem()
+	for i := 0; i < ddv.NumField(); i++ {
+		if got, want := ddv.Field(i).Uint(), uint64(i+1); got != want {
+			t.Errorf("Delta dropped field %s: got %d, want %d",
+				ddv.Type().Field(i).Name, got, want)
+		}
+	}
+}
+
 func TestCountersAddAndCost(t *testing.T) {
 	a := Counters{Comparisons: 10, Results: 2, Feedbacks: 1}
 	b := Counters{Comparisons: 5, Inserted: 3, Suspended: 2}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestChromeTrace(t *testing.T) {
+	events := []Event{
+		{Kind: KindArrival, TS: 5, Value: 1, Aux: 2},
+		{Kind: KindProbeBatch, TS: 5, Op: "Op1", Value: 3, Aux: 7},
+		{Kind: KindMigrationStart, TS: 9, Shard: 1, Note: "a -> b"},
+	}
+	raw := ChromeTrace(events)
+
+	// Deterministic: same input, same bytes.
+	if !bytes.Equal(raw, ChromeTrace(events)) {
+		t.Fatal("ChromeTrace is not deterministic")
+	}
+
+	var f struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			TS   int64  `json:"ts"`
+			PID  int    `json:"pid"`
+			TID  int    `json:"tid"`
+			S    string `json:"s"`
+			Args struct {
+				Op   string `json:"op"`
+				Name string `json:"name"`
+				Note string `json:"note"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit=%q", f.DisplayTimeUnit)
+	}
+
+	// Expected shape: thread_name metadata precedes the first event of each
+	// (pid, lane); lane 0 is the engine, operator lanes follow first
+	// appearance; stream ms map to trace µs.
+	var inst, meta int
+	for _, e := range f.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+			if e.Name != "thread_name" {
+				t.Errorf("metadata event %q", e.Name)
+			}
+		case "i":
+			inst++
+			if e.S != "t" {
+				t.Errorf("instant scope %q, want thread", e.S)
+			}
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+	}
+	if inst != 3 {
+		t.Errorf("%d instants, want 3", inst)
+	}
+	// Lanes: engine (pid 0), Op1 (pid 0), engine (pid 1) — three metadata rows.
+	if meta != 3 {
+		t.Errorf("%d thread_name rows, want 3", meta)
+	}
+	first := f.TraceEvents[0]
+	if first.Ph != "M" || first.Args.Name != "engine" || first.TID != 0 {
+		t.Errorf("first row must name the engine lane: %+v", first)
+	}
+	arrival := f.TraceEvents[1]
+	if arrival.Name != "arrival" || arrival.TS != 5000 || arrival.PID != 0 || arrival.TID != 0 {
+		t.Errorf("arrival row wrong: %+v", arrival)
+	}
+	probe := f.TraceEvents[3]
+	if probe.Name != "probe_batch" || probe.TID != 1 || probe.Args.Op != "Op1" {
+		t.Errorf("probe row wrong: %+v", probe)
+	}
+	last := f.TraceEvents[len(f.TraceEvents)-1]
+	if last.Name != "migration_start" || last.PID != 1 || last.Args.Note != "a -> b" {
+		t.Errorf("migration row wrong: %+v", last)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); k < NumKinds; k++ {
+		if k.String() == "" || k.String() == "unknown" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if NumKinds.String() != "unknown" {
+		t.Error("out-of-range kind must render unknown")
+	}
+}

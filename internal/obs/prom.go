@@ -1,0 +1,319 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// Prometheus text exposition (version 0.0.4) of tracer snapshots. Counter
+// metric names are derived by reflection over metrics.Counters — a new
+// counter field appears on the endpoint without any wiring here — and every
+// series carries a `shard` label so sharded runs expose per-replica and
+// (summed by the scraper) fleet views.
+
+// snakeCase converts a Go field name to a metric-name fragment:
+// "FinalResults" → "final_results", "MNSDetected" → "mns_detected" (an
+// acronym run stays one word).
+func snakeCase(name string) string {
+	var b strings.Builder
+	rs := []rune(name)
+	for i, r := range rs {
+		if r >= 'A' && r <= 'Z' {
+			prevLower := i > 0 && rs[i-1] >= 'a' && rs[i-1] <= 'z'
+			nextLower := i+1 < len(rs) && rs[i+1] >= 'a' && rs[i+1] <= 'z'
+			if i > 0 && (prevLower || nextLower) {
+				b.WriteByte('_')
+			}
+			r += 'a' - 'A'
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// counterFieldNames returns metrics.Counters' field names in struct order.
+func counterFieldNames() []string {
+	t := reflect.TypeOf(metrics.Counters{})
+	names := make([]string, t.NumField())
+	for i := range names {
+		names[i] = t.Field(i).Name
+	}
+	return names
+}
+
+// WriteProm writes the snapshots as Prometheus text exposition. Families
+// appear in a fixed order (counters in Counters struct order, then gauges,
+// then the latency histograms); within a family, one sample per snapshot in
+// the given order.
+func WriteProm(w io.Writer, snaps []*Snapshot) {
+	var live []*Snapshot
+	for _, s := range snaps {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	fields := counterFieldNames()
+	for i, f := range fields {
+		name := "jit_" + snakeCase(f) + "_total"
+		fmt.Fprintf(w, "# HELP %s Cumulative %s count from metrics.Counters.\n", name, f)
+		fmt.Fprintf(w, "# TYPE %s counter\n", name)
+		for _, s := range live {
+			v := reflect.ValueOf(s.Counters).Field(i).Uint()
+			fmt.Fprintf(w, "%s{shard=%q} %d\n", name, s.Label, v)
+		}
+	}
+	fmt.Fprintf(w, "# HELP jit_cost_units_total Weighted cost units (paper's unit-cost model).\n")
+	fmt.Fprintf(w, "# TYPE jit_cost_units_total counter\n")
+	for _, s := range live {
+		fmt.Fprintf(w, "jit_cost_units_total{shard=%q} %d\n", s.Label, s.Counters.CostUnits())
+	}
+	gauges := []struct {
+		name, help string
+		val        func(*Snapshot) int64
+	}{
+		{"jit_live_bytes", "Accounted live state bytes.", func(s *Snapshot) int64 { return s.LiveBytes }},
+		{"jit_peak_bytes", "Accounted peak state bytes.", func(s *Snapshot) int64 { return s.PeakBytes }},
+		{"jit_clock_ms", "Engine event-time clock (stream ms).", func(s *Snapshot) int64 { return int64(s.Clock) }},
+		{"jit_samples", "Time-series samples taken.", func(s *Snapshot) int64 { return int64(s.Samples) }},
+	}
+	for _, g := range gauges {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", g.name, g.help, g.name)
+		for _, s := range live {
+			fmt.Fprintf(w, "%s{shard=%q} %d\n", g.name, s.Label, g.val(s))
+		}
+	}
+	writePromHist(w, "jit_latency_event_ms", "Arrival-to-delivery event-time latency (stream ms).",
+		live, func(s *Snapshot) Histogram { return s.Latency })
+	writePromHist(w, "jit_latency_wall_ns", "Arrival-to-delivery wall-clock latency twin (ns).",
+		live, func(s *Snapshot) Histogram { return s.WallLat })
+}
+
+func writePromHist(w io.Writer, name, help string, snaps []*Snapshot, get func(*Snapshot) Histogram) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for _, s := range snaps {
+		h := get(s)
+		// Emit buckets up to the highest populated one; log-bucket upper
+		// bounds as le edges, cumulative counts per the exposition format.
+		top := 0
+		for i, b := range h.Buckets {
+			if b > 0 {
+				top = i
+			}
+		}
+		var cum uint64
+		for i := 0; i <= top; i++ {
+			cum += h.Buckets[i]
+			fmt.Fprintf(w, "%s_bucket{shard=%q,le=\"%d\"} %d\n", name, s.Label, BucketUpper(i), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{shard=%q,le=\"+Inf\"} %d\n", name, s.Label, h.Count)
+		fmt.Fprintf(w, "%s_sum{shard=%q} %d\n", name, s.Label, h.Sum)
+		fmt.Fprintf(w, "%s_count{shard=%q} %d\n", name, s.Label, h.Count)
+	}
+}
+
+// --- promtext grammar validation (for the endpoint unit test) ---
+
+var (
+	promNameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// PromSample is one parsed exposition sample.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParseProm validates text exposition format 0.0.4: HELP/TYPE comment
+// grammar, metric-name and label grammar, sample syntax, and that every
+// sample belongs to a family declared by a preceding TYPE line (histogram
+// families own their _bucket/_sum/_count children). Returns the parsed
+// samples; any violation is an error naming the line.
+func ParseProm(text string) ([]PromSample, error) {
+	types := map[string]string{}
+	var out []PromSample
+	for ln, line := range strings.Split(text, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 2 {
+				continue // bare comment
+			}
+			switch fields[1] {
+			case "TYPE":
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: malformed TYPE comment %q", lineNo, line)
+				}
+				name, kind := fields[2], fields[3]
+				if !promNameRe.MatchString(name) {
+					return nil, fmt.Errorf("line %d: bad metric name %q", lineNo, name)
+				}
+				switch kind {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, kind)
+				}
+				if _, dup := types[name]; dup {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				types[name] = kind
+			case "HELP":
+				if len(fields) < 3 || !promNameRe.MatchString(fields[2]) {
+					return nil, fmt.Errorf("line %d: malformed HELP comment %q", lineNo, line)
+				}
+			}
+			continue
+		}
+		s, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		family := s.Name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(s.Name, suf)
+			if base != s.Name && (types[base] == "histogram" || types[base] == "summary") {
+				family = base
+				break
+			}
+		}
+		kind, ok := types[family]
+		if !ok {
+			return nil, fmt.Errorf("line %d: sample %q has no TYPE declaration", lineNo, s.Name)
+		}
+		if kind == "histogram" && family != s.Name && strings.HasSuffix(s.Name, "_bucket") {
+			if _, ok := s.Labels["le"]; !ok {
+				return nil, fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+			}
+		}
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no samples in exposition")
+	}
+	return out, nil
+}
+
+func parsePromSample(line string) (PromSample, error) {
+	s := PromSample{Labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:i]
+	if !promNameRe.MatchString(s.Name) {
+		return s, fmt.Errorf("bad metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		end := strings.IndexByte(rest, '}')
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label block in %q", line)
+		}
+		if err := parsePromLabels(rest[1:end], s.Labels); err != nil {
+			return s, err
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("expected value [timestamp] after name, got %q", rest)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad sample value %q", fields[0])
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return s, nil
+}
+
+func parsePromLabels(block string, into map[string]string) error {
+	rest := block
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return fmt.Errorf("malformed label pair in %q", block)
+		}
+		key := rest[:eq]
+		if !promLabelRe.MatchString(key) {
+			return fmt.Errorf("bad label name %q", key)
+		}
+		rest = rest[eq+1:]
+		if rest == "" || rest[0] != '"' {
+			return fmt.Errorf("label value for %q not quoted", key)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		closed := false
+		for rest != "" {
+			c := rest[0]
+			if c == '\\' {
+				if len(rest) < 2 {
+					return fmt.Errorf("dangling escape in label value")
+				}
+				switch rest[1] {
+				case '\\', '"':
+					val.WriteByte(rest[1])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return fmt.Errorf("bad escape \\%c in label value", rest[1])
+				}
+				rest = rest[2:]
+				continue
+			}
+			if c == '"' {
+				closed = true
+				rest = rest[1:]
+				break
+			}
+			val.WriteByte(c)
+			rest = rest[1:]
+		}
+		if !closed {
+			return fmt.Errorf("unterminated label value for %q", key)
+		}
+		into[key] = val.String()
+		if rest != "" {
+			if rest[0] != ',' {
+				return fmt.Errorf("expected ',' between labels, got %q", rest)
+			}
+			rest = rest[1:]
+		}
+	}
+	return nil
+}
+
+// PromFamilies returns the distinct family names in parsed samples
+// (histogram children collapsed), sorted — a convenience for tests.
+func PromFamilies(samples []PromSample) []string {
+	set := map[string]bool{}
+	for _, s := range samples {
+		name := s.Name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			name = strings.TrimSuffix(name, suf)
+		}
+		set[name] = true
+	}
+	var out []string
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestSnakeCase(t *testing.T) {
+	cases := map[string]string{
+		"Probes":          "probes",
+		"FinalResults":    "final_results",
+		"MNSDetected":     "mns_detected",
+		"BloomChecks":     "bloom_checks",
+		"CatchUpJoins":    "catch_up_joins",
+		"LateDropped":     "late_dropped",
+		"SuppressedPairs": "suppressed_pairs",
+	}
+	for in, want := range cases {
+		if got := snakeCase(in); got != want {
+			t.Errorf("snakeCase(%s)=%s, want %s", in, got, want)
+		}
+	}
+}
+
+// TestWritePromParses round-trips the exposition through the grammar
+// validator — the acceptance criterion's promtext check — and verifies the
+// per-shard labelling and that every Counters field has a family.
+func TestWritePromParses(t *testing.T) {
+	var lat Histogram
+	lat.Observe(0)
+	lat.Observe(5)
+	lat.Observe(120000)
+	snaps := []*Snapshot{
+		{Label: "shard0", Counters: metrics.Counters{Probes: 10, MNSDetected: 3}, LiveBytes: 100, Latency: lat},
+		{Label: "shard1", Counters: metrics.Counters{Probes: 20}, LiveBytes: 50},
+		nil, // unpublished tracers are skipped
+	}
+	var b strings.Builder
+	WriteProm(&b, snaps)
+
+	samples, err := ParseProm(b.String())
+	if err != nil {
+		t.Fatalf("exposition fails promtext grammar: %v", err)
+	}
+	families := map[string]bool{}
+	for _, f := range PromFamilies(samples) {
+		families[f] = true
+	}
+	// Every Counters field must expose a family — the reflection-derived
+	// names keep new counters visible without wiring.
+	ct := reflect.TypeOf(metrics.Counters{})
+	for i := 0; i < ct.NumField(); i++ {
+		name := "jit_" + snakeCase(ct.Field(i).Name) + "_total"
+		if !families[name] {
+			t.Errorf("counter family %s missing from exposition", name)
+		}
+	}
+	for _, want := range []string{"jit_cost_units_total", "jit_live_bytes", "jit_latency_event_ms", "jit_latency_wall_ns"} {
+		if !families[want] {
+			t.Errorf("family %s missing", want)
+		}
+	}
+
+	byShard := map[string]float64{}
+	var bucketSeen bool
+	for _, s := range samples {
+		if s.Name == "jit_probes_total" {
+			byShard[s.Labels["shard"]] = s.Value
+		}
+		if s.Name == "jit_latency_event_ms_bucket" {
+			bucketSeen = true
+			if _, ok := s.Labels["le"]; !ok {
+				t.Error("histogram bucket without le")
+			}
+		}
+	}
+	if byShard["shard0"] != 10 || byShard["shard1"] != 20 {
+		t.Errorf("per-shard probes wrong: %v", byShard)
+	}
+	if !bucketSeen {
+		t.Error("no latency buckets emitted")
+	}
+}
+
+func TestParsePromRejects(t *testing.T) {
+	bad := []string{
+		"jit_x_total 1", // sample without TYPE
+		"# TYPE jit_x_total banana\njit_x_total 1",      // unknown type
+		"# TYPE 9bad counter\n9bad 1",                   // bad metric name
+		"# TYPE jit_x_total counter\njit_x_total{le} 1", // malformed label pair
+		"# TYPE jit_x_total counter\njit_x_total nope",  // bad value
+		"", // no samples at all
+	}
+	for _, text := range bad {
+		if _, err := ParseProm(text); err == nil {
+			t.Errorf("accepted invalid exposition %q", text)
+		}
+	}
+}

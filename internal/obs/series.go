@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/stream"
+)
+
+// Sample is one interval of the deterministic time series: the plan-wide
+// Counters delta over (T−Δt, T], the per-operator OpStats deltas, and the
+// Account's live bytes at the boundary. T is an absolute stream-time grid
+// point, never a wall-clock stamp.
+type Sample struct {
+	T         stream.Time
+	Counters  metrics.Counters
+	LiveBytes int64
+	Ops       []OpSample
+}
+
+// OpSample is one operator's stat delta within a Sample (or, in a
+// Snapshot, its running totals).
+type OpSample struct {
+	Name  string
+	Stats metrics.OpStats
+}
+
+// Sampler snapshots the measurement substrate every Δt of stream time. The
+// determinism rules (DESIGN.md §9):
+//
+//   - Boundaries lie on the absolute grid k·Δt, anchored at stream time 0 —
+//     not at the first arrival — so per-shard series from the same run
+//     align bucket-for-bucket and MergeSeries can sum them.
+//   - A boundary fires when the clock first reaches or passes it, BEFORE
+//     the crossing arrival is processed: the sample covers exactly the
+//     activity with ts < boundary. Skipped-over boundaries emit empty
+//     samples, keeping the grid uniform.
+//   - Flush stamps the final partial interval at the NEXT grid boundary
+//     (ceiling), again so shards agree on the last bucket.
+type Sampler struct {
+	dt      stream.Time
+	next    stream.Time
+	started bool
+	bound   bool
+
+	ctr  *metrics.Counters
+	acct *metrics.Account
+	ops  []OpRef
+
+	prev    metrics.Counters
+	prevOps []metrics.OpStats
+	samples []Sample
+}
+
+// NewSampler creates a sampler with stream-time interval dt (must be > 0).
+func NewSampler(dt stream.Time) *Sampler {
+	if dt <= 0 {
+		panic("obs: sampler interval must be positive stream time")
+	}
+	return &Sampler{dt: dt}
+}
+
+// Bind attaches (or re-attaches) the substrate. On first bind the counter
+// baseline is the counters' current value; on rebind — a migration handed
+// the clock to a successor plan — the baseline is kept, because the
+// successor's Counters absorbed the predecessor's totals and resetting
+// would double-count the pre-migration work. Per-operator baselines always
+// reset: the successor's operators are fresh (zero stats), and their
+// OpStats deltas would underflow against the old plan's totals.
+func (s *Sampler) Bind(ctr *metrics.Counters, acct *metrics.Account, ops []OpRef) {
+	rebind := s.bound
+	s.ctr, s.acct, s.ops = ctr, acct, ops
+	s.bound = true
+	if !rebind {
+		s.prev = *ctr
+	}
+	s.prevOps = make([]metrics.OpStats, len(ops))
+	for i, o := range ops {
+		s.prevOps[i] = o.Stats()
+	}
+}
+
+// Tick advances the sampler clock; it takes one sample per grid boundary in
+// (prevTick, ts] and reports whether any was taken. The first tick only
+// anchors the grid (the stream's activity starts there; an interval before
+// it would be vacuous).
+func (s *Sampler) Tick(ts stream.Time) bool {
+	if s.ctr == nil {
+		return false
+	}
+	if !s.started {
+		s.started = true
+		s.next = (ts/s.dt + 1) * s.dt
+		return false
+	}
+	took := false
+	for ts >= s.next {
+		s.take(s.next)
+		s.next += s.dt
+		took = true
+	}
+	return took
+}
+
+// Flush records the final partial interval, stamped at the next grid
+// boundary. Idempotent per boundary only in the sense that repeated flushes
+// stamp successive boundaries; the engine calls it exactly once.
+func (s *Sampler) Flush() bool {
+	if s.ctr == nil || !s.started {
+		return false
+	}
+	s.take(s.next)
+	s.next += s.dt
+	return true
+}
+
+func (s *Sampler) take(at stream.Time) {
+	sm := Sample{T: at, Counters: counterDelta(*s.ctr, s.prev)}
+	s.prev = *s.ctr
+	if s.acct != nil {
+		sm.LiveBytes = s.acct.Live()
+	}
+	for i, o := range s.ops {
+		cur := o.Stats()
+		sm.Ops = append(sm.Ops, OpSample{Name: o.Name, Stats: cur.Delta(s.prevOps[i])})
+		s.prevOps[i] = cur
+	}
+	s.samples = append(s.samples, sm)
+}
+
+// Samples returns the series so far.
+func (s *Sampler) Samples() []Sample { return s.samples }
+
+// counterDelta returns cur − prev field-wise, by reflection so a new
+// Counters field is included automatically (and pinned by the metrics
+// reflection test).
+func counterDelta(cur, prev metrics.Counters) metrics.Counters {
+	var out metrics.Counters
+	ov := reflect.ValueOf(&out).Elem()
+	cv := reflect.ValueOf(cur)
+	pv := reflect.ValueOf(prev)
+	for i := 0; i < cv.NumField(); i++ {
+		ov.Field(i).SetUint(cv.Field(i).Uint() - pv.Field(i).Uint())
+	}
+	return out
+}
+
+// MergeSeries sums per-shard series onto the union of their grids: samples
+// with equal T add field-wise (Counters via Add, live bytes and op deltas
+// by name). Because every sampler uses the same absolute grid, equal-Δt
+// shard series line up exactly; the union handles shards that finished on
+// different final boundaries. The reflection pin covers Sample's fields so
+// an unmerged addition fails loudly.
+func MergeSeries(series ...[]Sample) []Sample {
+	byT := map[stream.Time]*Sample{}
+	var ts []stream.Time
+	for _, sr := range series {
+		for _, sm := range sr {
+			dst, ok := byT[sm.T]
+			if !ok {
+				cp := Sample{T: sm.T}
+				byT[sm.T] = &cp
+				ts = append(ts, sm.T)
+				dst = &cp
+			}
+			dst.Counters.Add(&sm.Counters)
+			dst.LiveBytes += sm.LiveBytes
+			for _, op := range sm.Ops {
+				found := false
+				for i := range dst.Ops {
+					if dst.Ops[i].Name == op.Name {
+						dst.Ops[i].Stats.Add(op.Stats)
+						found = true
+						break
+					}
+				}
+				if !found {
+					dst.Ops = append(dst.Ops, op)
+				}
+			}
+		}
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	out := make([]Sample, 0, len(ts))
+	for _, t := range ts {
+		out = append(out, *byT[t])
+	}
+	return out
+}
+
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Spark renders a unicode sparkline of the values, scaled to their maximum
+// ("" for an empty slice; all-▁ for all-zero). Used by the jitreport
+// behaviour-over-time appendix and the README's ASCII trace example.
+func Spark(vals []uint64) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	var max uint64
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		i := 0
+		if max > 0 {
+			// Ceiling scale: any nonzero value gets at least one step above ▁.
+			i = int((v*uint64(len(sparkRunes)-1) + max - 1) / max)
+		}
+		b.WriteRune(sparkRunes[i])
+	}
+	return b.String()
+}

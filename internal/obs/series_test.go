@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestSamplerGrid(t *testing.T) {
+	ctr := &metrics.Counters{}
+	var acct metrics.Account
+	ops := uint64(0)
+	s := NewSampler(10)
+	s.Bind(ctr, &acct, []OpRef{{Name: "Op1", Stats: func() metrics.OpStats { return metrics.OpStats{Probes: ops} }}})
+
+	// First tick anchors the grid on the absolute boundary after ts.
+	if s.Tick(3) {
+		t.Fatal("anchor tick must not sample")
+	}
+	ctr.Probes = 5
+	ops = 2
+	acct.Alloc(100)
+	if !s.Tick(10) {
+		t.Fatal("boundary 10 not taken")
+	}
+	ctr.Probes = 7
+	// Jumping past several boundaries emits one sample per boundary — the
+	// first carries the delta, the skipped ones are empty — keeping the grid
+	// uniform for shard merging.
+	if !s.Tick(35) {
+		t.Fatal("boundaries 20,30 not taken")
+	}
+	s.Flush() // final partial interval stamped at the NEXT boundary (40)
+
+	got := s.Samples()
+	if len(got) != 4 {
+		t.Fatalf("%d samples, want 4 (T=10,20,30,40)", len(got))
+	}
+	wantT := []int64{10, 20, 30, 40}
+	wantProbes := []uint64{5, 2, 0, 0}
+	for i, sm := range got {
+		if int64(sm.T) != wantT[i] {
+			t.Errorf("sample %d at T=%d, want %d", i, sm.T, wantT[i])
+		}
+		if sm.Counters.Probes != wantProbes[i] {
+			t.Errorf("sample %d probes delta=%d, want %d", i, sm.Counters.Probes, wantProbes[i])
+		}
+		if sm.LiveBytes != 100 {
+			t.Errorf("sample %d live=%d, want 100", i, sm.LiveBytes)
+		}
+	}
+	if got[0].Ops[0].Stats.Probes != 2 || got[1].Ops[0].Stats.Probes != 0 {
+		t.Error("per-op delta wrong")
+	}
+}
+
+// TestSamplerRebind checks the migration-handoff semantics: the counter
+// baseline is kept (the successor's Counters absorbed the predecessor's
+// totals), while per-operator baselines reset (successor operators are
+// fresh and old baselines would underflow).
+func TestSamplerRebind(t *testing.T) {
+	ctr := &metrics.Counters{}
+	s := NewSampler(10)
+	s.Bind(ctr, nil, nil)
+	s.Tick(1) // anchor
+	ctr.Probes = 4
+
+	// Migration: successor counters absorbed the 4, plus 3 of its own work.
+	ctr2 := &metrics.Counters{Probes: 7}
+	opProbes := uint64(5) // fresh operator, already did 5 probes before next boundary
+	s.Bind(ctr2, nil, []OpRef{{Name: "Op1'", Stats: func() metrics.OpStats { return metrics.OpStats{Probes: opProbes} }}})
+
+	if !s.Tick(10) {
+		t.Fatal("boundary not taken")
+	}
+	sm := s.Samples()[0]
+	if sm.Counters.Probes != 7 {
+		t.Errorf("rebind delta=%d, want 7 (baseline kept across migration)", sm.Counters.Probes)
+	}
+	// Op baseline reset at Bind time: delta counts only post-rebind work.
+	if sm.Ops[0].Stats.Probes != 0 {
+		t.Errorf("op delta=%d, want 0 (baseline reset at rebind)", sm.Ops[0].Stats.Probes)
+	}
+}
+
+func TestNewSamplerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dt<=0 must panic")
+		}
+	}()
+	NewSampler(0)
+}
+
+func TestMergeSeries(t *testing.T) {
+	a := []Sample{
+		{T: 10, Counters: metrics.Counters{Probes: 1}, LiveBytes: 5, Ops: []OpSample{{Name: "Op1", Stats: metrics.OpStats{Probes: 1}}}},
+		{T: 20, Counters: metrics.Counters{Probes: 2}, LiveBytes: 6},
+	}
+	b := []Sample{
+		{T: 10, Counters: metrics.Counters{Probes: 10}, LiveBytes: 50, Ops: []OpSample{{Name: "Op1", Stats: metrics.OpStats{Probes: 10}}, {Name: "Op2", Stats: metrics.OpStats{Probes: 4}}}},
+		{T: 30, Counters: metrics.Counters{Probes: 20}, LiveBytes: 60},
+	}
+	m := MergeSeries(a, b)
+	if len(m) != 3 || m[0].T != 10 || m[1].T != 20 || m[2].T != 30 {
+		t.Fatalf("merged grid wrong: %+v", m)
+	}
+	if m[0].Counters.Probes != 11 || m[0].LiveBytes != 55 {
+		t.Errorf("T=10 not summed: %+v", m[0])
+	}
+	if len(m[0].Ops) != 2 || m[0].Ops[0].Stats.Probes != 11 || m[0].Ops[1].Name != "Op2" {
+		t.Errorf("ops not merged by name: %+v", m[0].Ops)
+	}
+	if m[1].Counters.Probes != 2 || m[2].Counters.Probes != 20 {
+		t.Error("union grid lost single-sided samples")
+	}
+}
+
+// TestSampleMergePin pins that MergeSeries handles every Sample field:
+// adding a field without extending the merge (and this handled list) fails.
+func TestSampleMergePin(t *testing.T) {
+	handled := map[string]bool{"T": true, "Counters": true, "LiveBytes": true, "Ops": true}
+	tp := reflect.TypeOf(Sample{})
+	for i := 0; i < tp.NumField(); i++ {
+		if !handled[tp.Field(i).Name] {
+			t.Fatalf("new Sample field %s: extend MergeSeries and this pin", tp.Field(i).Name)
+		}
+	}
+}
+
+// TestTracerDeliveryLag pins the latency math on the nonzero path: a
+// delivery whose result timestamp trails the event-time clock records the
+// gap; a future-stamped result (cannot happen from the engine, but the
+// clamp is load-bearing) records zero rather than wrapping.
+func TestTracerDeliveryLag(t *testing.T) {
+	tr := New(Options{})
+	tr.Advance(100)
+	tr.Delivery(40)  // recovered 60 ms after its event-time due date
+	tr.Delivery(100) // live
+	tr.Delivery(200) // future-stamped: clamped to zero, not wrapped
+	h := tr.Latency()
+	if h.Count != 3 || h.Max != 60 || h.Sum != 60 {
+		t.Fatalf("latency histogram wrong: %+v", h)
+	}
+	if h.Buckets[0] != 2 {
+		t.Errorf("%d live deliveries in bucket 0, want 2", h.Buckets[0])
+	}
+	if tr.WallLatency().Count != 0 {
+		t.Error("wall twin must stay off unless requested")
+	}
+
+	wtr := New(Options{WallLatency: true})
+	wtr.Advance(1)
+	wtr.Delivery(1)
+	if wtr.WallLatency().Count != 1 {
+		t.Error("wall twin did not record")
+	}
+}
+
+func TestSpark(t *testing.T) {
+	if Spark(nil) != "" {
+		t.Error("empty spark")
+	}
+	if got := Spark([]uint64{0, 0, 0}); got != "▁▁▁" {
+		t.Errorf("all-zero spark = %q", got)
+	}
+	got := Spark([]uint64{0, 1, 4, 8})
+	rs := []rune(got)
+	if len(rs) != 4 || rs[0] != '▁' || rs[3] != '█' {
+		t.Errorf("spark = %q", got)
+	}
+	// Ceiling scale: any nonzero value is visibly above the floor rune.
+	if rs[1] == '▁' {
+		t.Errorf("nonzero value rendered at floor: %q", got)
+	}
+}

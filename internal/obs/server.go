@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// RingSink retains the last N events behind a mutex — the only sink safe to
+// read while the engine is still emitting, which is exactly what the live
+// /trace endpoint needs. For post-run export (Chrome traces, goldens) use
+// the unlocked MemorySink instead.
+type RingSink struct {
+	mu   sync.Mutex
+	buf  []Event
+	next int
+	full bool
+}
+
+// NewRingSink creates a ring retaining the last n events (n must be > 0).
+func NewRingSink(n int) *RingSink {
+	if n <= 0 {
+		panic("obs: ring sink capacity must be positive")
+	}
+	return &RingSink{buf: make([]Event, n)}
+}
+
+// Emit implements Sink.
+func (r *RingSink) Emit(e Event) {
+	r.mu.Lock()
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next, r.full = 0, true
+	}
+	r.mu.Unlock()
+}
+
+// TraceEvents implements EventSource: a copy of the retained events, oldest
+// first.
+func (r *RingSink) TraceEvents() ([]Event, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Event(nil), r.buf[:r.next]...), true
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out, true
+}
+
+// Registry aggregates the tracers of one process — one for a single-engine
+// run, one per replica for a sharded run — behind the ops endpoint.
+type Registry struct {
+	mu  sync.Mutex
+	trs []*Tracer
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register adds tracers (nils are ignored).
+func (r *Registry) Register(trs ...*Tracer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, t := range trs {
+		if t != nil {
+			r.trs = append(r.trs, t)
+		}
+	}
+}
+
+// Tracers returns the registered tracers in registration order.
+func (r *Registry) Tracers() []*Tracer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*Tracer(nil), r.trs...)
+}
+
+// Snapshots returns the last published snapshot of each tracer, skipping
+// tracers that have not published yet.
+func (r *Registry) Snapshots() []*Snapshot {
+	var out []*Snapshot
+	for _, t := range r.Tracers() {
+		if s := t.Snapshot(); s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Handler returns the ops endpoint mux:
+//
+//	/metrics        Prometheus text exposition (per-shard labels)
+//	/trace          NDJSON stream of retained trace events (ring sinks)
+//	/debug/pprof/   the standard pprof surface
+//	/healthz        liveness
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteProm(w, r.Snapshots())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, t := range r.Tracers() {
+			evs, ok := t.TraceEvents()
+			if !ok {
+				continue
+			}
+			for _, e := range evs {
+				enc.Encode(struct {
+					Kind  string `json:"kind"`
+					TS    int64  `json:"ts"`
+					Op    string `json:"op,omitempty"`
+					Shard int    `json:"shard"`
+					Value uint64 `json:"value"`
+					Aux   int64  `json:"aux,omitempty"`
+					Note  string `json:"note,omitempty"`
+				}{e.Kind.String(), int64(e.TS), e.Op, e.Shard, e.Value, e.Aux, e.Note})
+			}
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a live ops endpoint bound to a listener.
+type Server struct {
+	lis net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (":9090", "127.0.0.1:0", …) and serves the registry's
+// handler until Close.
+func Serve(addr string, r *Registry) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{lis: lis, srv: &http.Server{Handler: r.Handler()}}
+	go s.srv.Serve(lis) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/stream"
+)
+
+func TestRingSinkWraps(t *testing.T) {
+	r := NewRingSink(4)
+	for i := 0; i < 6; i++ {
+		r.Emit(Event{Kind: KindArrival, Value: uint64(i)})
+	}
+	evs, ok := r.TraceEvents()
+	if !ok || len(evs) != 4 {
+		t.Fatalf("got %d events, ok=%v", len(evs), ok)
+	}
+	for i, e := range evs {
+		if e.Value != uint64(i+2) {
+			t.Fatalf("event %d value=%d, want %d (oldest first)", i, e.Value, i+2)
+		}
+	}
+}
+
+func TestTeeSink(t *testing.T) {
+	var c CountingSink
+	r := NewRingSink(8)
+	tee := TeeSink{&c, r}
+	tee.Emit(Event{Kind: KindSuspend})
+	if c.Count(KindSuspend) != 1 || c.Total() != 1 {
+		t.Error("tee missed the counting branch")
+	}
+	if evs, ok := tee.TraceEvents(); !ok || len(evs) != 1 {
+		t.Error("tee did not find the ring's event source")
+	}
+}
+
+func TestMemorySinkMask(t *testing.T) {
+	m := &MemorySink{Mask: MaskOf(KindEpoch, KindMigrationStart)}
+	m.Emit(Event{Kind: KindArrival})
+	m.Emit(Event{Kind: KindEpoch})
+	m.Emit(Event{Kind: KindMigrationStart})
+	if len(m.Events()) != 2 {
+		t.Fatalf("mask kept %d events, want 2", len(m.Events()))
+	}
+}
+
+// TestOpsEndpoint boots the live server on an ephemeral port and checks the
+// whole surface: /metrics parses under the promtext grammar with the right
+// content type, /trace streams NDJSON, /healthz answers, pprof is mounted.
+func TestOpsEndpoint(t *testing.T) {
+	ring := NewRingSink(64)
+	tr := New(Options{Sink: ring, SampleEvery: 10, Label: "shard0"})
+	ctr := &metrics.Counters{}
+	tr.Bind(ctr, nil, nil)
+	tr.Advance(1)
+	ctr.Probes = 42
+	tr.Arrival(&stream.Tuple{TS: 1, ID: 7})
+	tr.Advance(25) // crosses boundaries 10 and 20 → snapshot published
+	tr.Finish()
+
+	reg := NewRegistry()
+	reg.Register(tr, nil) // nils are skipped
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	get := func(path string) (*http.Response, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return resp, string(body)
+	}
+
+	resp, body := get("/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("metrics content type %q", ct)
+	}
+	samples, err := ParseProm(body)
+	if err != nil {
+		t.Fatalf("scrape fails promtext grammar: %v\n%s", err, body)
+	}
+	found := false
+	for _, s := range samples {
+		if s.Name == "jit_probes_total" && s.Labels["shard"] == "shard0" && s.Value == 42 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("jit_probes_total{shard=\"shard0\"} 42 not scraped")
+	}
+
+	_, body = get("/trace")
+	sc := bufio.NewScanner(strings.NewReader(body))
+	lines := 0
+	for sc.Scan() {
+		var e struct {
+			Kind  string `json:"kind"`
+			TS    int64  `json:"ts"`
+			Shard int    `json:"shard"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if e.Kind != "arrival" {
+			t.Errorf("unexpected kind %q", e.Kind)
+		}
+		lines++
+	}
+	if lines != 1 {
+		t.Errorf("%d trace lines, want 1", lines)
+	}
+
+	if _, body = get("/healthz"); strings.TrimSpace(body) != "ok" {
+		t.Errorf("healthz said %q", body)
+	}
+	get("/debug/pprof/cmdline")
+}

@@ -2,6 +2,7 @@ package operator
 
 import (
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/stream"
 )
 
@@ -10,6 +11,7 @@ import (
 type Sink struct {
 	name    string
 	ctr     *metrics.Counters
+	trace   *obs.Tracer
 	keep    bool
 	results []*stream.Composite
 	count   uint64
@@ -41,10 +43,15 @@ func (s *Sink) Consume(c *stream.Composite, _ Port) {
 		s.OrderViolations++
 	}
 	s.lastTS = c.TS
+	s.trace.Delivery(c.TS)
 	if s.keep {
 		s.results = append(s.results, c)
 	}
 }
+
+// SetTrace attaches (or, with nil, detaches) the observability tracer: each
+// delivery feeds the arrival→delivery latency histogram (DESIGN.md §9).
+func (s *Sink) SetTrace(tr *obs.Tracer) { s.trace = tr }
 
 // SetCounters re-points the sink's counter block. A plan migration keeps
 // the run's single sink across plan instances (delivery order and counts

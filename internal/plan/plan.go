@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/operator"
 	"repro/internal/predicate"
 	"repro/internal/stream"
@@ -126,6 +127,11 @@ type Built struct {
 	// Counters and Account are the shared measurement substrate.
 	Counters *metrics.Counters
 	Account  *metrics.Account
+	// Trace is the attached observability layer; nil (the default) disables
+	// it. Set it with SetTrace — deliberately not a build Option, so the
+	// throwaway plans Replicate/Rebuild/shadow-scoring construct stay
+	// untraced unless explicitly attached.
+	Trace *obs.Tracer
 
 	nextMNS uint64
 
@@ -234,6 +240,28 @@ func (b *Built) SnapshotInWindow(cut stream.Time) []*stream.Tuple {
 // operator-level locking is ever needed.
 func (b *Built) Replicate() *Built {
 	return BuildTree(b.Catalog, b.preds, b.shape, b.opt)
+}
+
+// SetTrace attaches (or, with nil, detaches) an observability tracer to the
+// wired plan: every join and the sink get their event hooks, and the tracer
+// is bound to the plan's measurement substrate for sampling. Called once
+// after build, and again by the migration handoff so the successor plan
+// inherits the run's tracer (DESIGN.md §9).
+func (b *Built) SetTrace(tr *obs.Tracer) {
+	b.Trace = tr
+	for _, j := range b.Joins {
+		j.SetTrace(tr)
+	}
+	b.Sink.SetTrace(tr)
+	if tr == nil {
+		return
+	}
+	ops := make([]obs.OpRef, len(b.Joins))
+	for i, j := range b.Joins {
+		j := j
+		ops[i] = obs.OpRef{Name: j.Name(), Stats: j.Stats}
+	}
+	tr.Bind(b.Counters, b.Account, ops)
 }
 
 // NextMNS hands out plan-unique MNS / mark identifiers.

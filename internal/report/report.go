@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/exp"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/stream"
 )
@@ -80,6 +81,56 @@ type Report struct {
 	Figures []*exp.Figure
 	Specs   []exp.Spec
 	Ext     Extensions
+	// Behaviour holds one behaviour-over-time series per figure: the
+	// figure's last-x JIT cell re-run with the DESIGN.md §9 event-time
+	// sampler attached. Rendered as the RESULTS.md sparkline appendix;
+	// deliberately absent from RESULTS.json (the per-x endpoint numbers
+	// there are the machine-readable record; the series is a shape aid).
+	Behaviour []BehaviourRow
+}
+
+// BehaviourRow is one figure's sampled time series.
+type BehaviourRow struct {
+	// Fig is the figure slug ("fig10"); XLabel/X identify the re-run grid
+	// cell — the last point of the sweep the preset actually ran. The
+	// sweep middles are useless here: every figure's middle x IS the
+	// common Table III base (the paper varies one parameter around shared
+	// defaults), so middle-x series would repeat one identical workload
+	// eight times. The far end of each sweep is a distinct workload and
+	// the regime where the swept parameter's effect is largest.
+	Fig    string
+	XLabel string
+	X      float64
+	// Dt is the uniform sampling interval in stream time: the cell's
+	// horizon split into behaviourBuckets equal event-time intervals.
+	Dt stream.Time
+	// Samples carries per-interval Counters deltas plus the LiveBytes
+	// gauge, stamped on the absolute Dt grid (obs.Sampler semantics).
+	Samples []obs.Sample
+}
+
+// behaviourBuckets is the sparkline resolution: one sample per 1/24 of the
+// horizon keeps every appendix row one terminal line wide regardless of
+// preset scaling.
+const behaviourBuckets = 24
+
+// behaviourFor re-runs one figure's last-x JIT cell with a sampler
+// attached. The extra run is deliberate: threading a tracer through the
+// sweep itself would make every figure's measurement carry (tiny but
+// nonzero) instrumentation wall-cost for a series only this appendix
+// needs, and the transparency contract (internal/obs) guarantees the
+// re-run reproduces the sweep's counters exactly.
+func behaviourFor(o Options, s exp.Spec, xs []float64) BehaviourRow {
+	x := xs[len(xs)-1]
+	p := s.ParamsAt(o.ConfigFor(s), exp.NamedMode{Name: "JIT", Mode: core.JIT()}, x)
+	dt := p.Horizon / behaviourBuckets
+	if dt <= 0 {
+		dt = 1
+	}
+	tr := obs.New(obs.Options{SampleEvery: dt})
+	p.Trace = tr
+	p.Run()
+	return BehaviourRow{Fig: s.Name, XLabel: s.XLabel, X: x, Dt: dt, Samples: tr.Samples()}
 }
 
 // Build executes the full sweep grid of the preset plus the extension runs
@@ -103,6 +154,7 @@ func Build(o Options) *Report {
 		}
 		start := time.Now()
 		r.Figures = append(r.Figures, s.RunXs(o.ConfigFor(s), xs))
+		r.Behaviour = append(r.Behaviour, behaviourFor(o, s, xs))
 		if o.Progress != nil {
 			fmt.Fprintf(o.Progress, "%s: %d points × %d modes in %v\n",
 				s.Name, len(xs), len(o.Modes()), time.Since(start).Round(time.Millisecond))

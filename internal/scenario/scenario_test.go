@@ -10,6 +10,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/exp"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/stream"
 )
@@ -82,6 +83,46 @@ func checkSharded(t *testing.T, sc Scenario, res shard.Result) {
 	}
 }
 
+// traceCell attaches a counting tracer to every engine of the cell —
+// one for a single run, one per replica for a sharded run — and returns the
+// sinks for post-run conservation checks.
+func traceCell(p *exp.Params) *[]*obs.CountingSink {
+	sinks := &[]*obs.CountingSink{}
+	if p.Shards > 1 {
+		p.TraceFor = func(shard int) *obs.Tracer {
+			s := &obs.CountingSink{}
+			*sinks = append(*sinks, s)
+			return obs.New(obs.Options{Sink: s, Shard: shard})
+		}
+	} else {
+		s := &obs.CountingSink{}
+		*sinks = append(*sinks, s)
+		p.Trace = obs.New(obs.Options{Sink: s})
+	}
+	return sinks
+}
+
+// checkEventConservation asserts the trace-event stream mirrors the
+// counters it instruments, under the PR 6 disorder mutators: the late-drop
+// event count must equal the LateDropped counter (zero across the suite,
+// whose disorder sits exactly at the engine bound — the engine's own
+// disorder tests pin the nonzero case), and arrival events must equal the
+// processed-arrival count.
+func checkEventConservation(t *testing.T, r engine.Result, sinks []*obs.CountingSink) {
+	t.Helper()
+	var drops, arrivals uint64
+	for _, s := range sinks {
+		drops += s.Count(obs.KindLateDrop)
+		arrivals += s.Count(obs.KindArrival)
+	}
+	if drops != r.Counters.LateDropped {
+		t.Fatalf("late-drop trace events %d != LateDropped counter %d", drops, r.Counters.LateDropped)
+	}
+	if arrivals != uint64(r.Arrivals) {
+		t.Fatalf("arrival trace events %d != processed arrivals %d", arrivals, r.Arrivals)
+	}
+}
+
 // TestHostileStreamEquivalence is the harness's headline: every scenario of
 // the suite, run through every cell of the execution matrix, must deliver
 // exactly the REF baseline's final multiset. Multiset equality doubles as
@@ -107,11 +148,13 @@ func TestHostileStreamEquivalence(t *testing.T) {
 				t.Run(cell.String(), func(t *testing.T) {
 					t.Parallel()
 					p := cell.Apply(base)
+					sinks := traceCell(&p)
 					if cell.Shards > 1 {
 						p.KeepResults = true
 						res := p.RunSharded()
 						checkRun(t, res.Merged, res.ResultKeys())
 						checkSharded(t, sc, res)
+						checkEventConservation(t, res.Merged, *sinks)
 						requireEqualMultisets(t, Multiset(res.ResultKeys()), want)
 						if m := res.Merged.Counters.Migrations; m > 0 {
 							t.Logf("exactly-once held across %d migrations (%d duplicate deliveries suppressed)",
@@ -121,6 +164,7 @@ func TestHostileStreamEquivalence(t *testing.T) {
 					}
 					r, keys := p.RunKeys()
 					checkRun(t, r, keys)
+					checkEventConservation(t, r, *sinks)
 					requireEqualMultisets(t, Multiset(keys), want)
 					if m := r.Counters.Migrations; m > 0 {
 						t.Logf("exactly-once held across %d migrations (%d duplicate deliveries suppressed)",

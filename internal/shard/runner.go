@@ -8,6 +8,7 @@ import (
 	"repro/internal/adapt"
 	"repro/internal/engine"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/stream"
 )
@@ -32,6 +33,12 @@ type Options struct {
 	// at the barrier, and all adopt the same fleet-wide shape decision.
 	// Drain is forced on (the migration handoff requires exact delivery).
 	Adapt *adapt.Config
+	// TraceFor, when non-nil, supplies each replica's observability tracer
+	// (nil returns leave that replica untraced). One tracer per replica —
+	// tracers are single-goroutine like the engines that drive them; the ops
+	// endpoint aggregates their snapshots with per-shard labels (DESIGN.md
+	// §9), and the merged Result aggregates per-operator stats by name.
+	TraceFor func(shard int) *obs.Tracer
 }
 
 // Result is the outcome of a sharded run.
@@ -184,6 +191,9 @@ func (r *Runner) RunStream(next func() (*stream.Tuple, bool)) Result {
 	for i := range replicas {
 		replicas[i] = r.base.Replicate()
 		chans[i] = make(chan *stream.Tuple, buf)
+		if r.opt.TraceFor != nil {
+			replicas[i].SetTrace(r.opt.TraceFor(i))
+		}
 		if coord != nil {
 			ctrls[i] = adapt.NewCoordinated(cfg, coord)
 		}
@@ -292,6 +302,22 @@ func (r *Runner) merge(res *Result, replicas []*plan.Built, shardRes []engine.Re
 		merged.OrderViolations += sr.OrderViolations
 		ctr.Add(&sr.Counters)
 		logs[i] = replicas[i].Sink.Results()
+		// Aggregate per-operator stats by operator name: replicas share one
+		// shape, so names align; a migrated fleet's successor operators merge
+		// under the successor names (order follows first appearance).
+		for _, op := range sr.Ops {
+			found := false
+			for k := range merged.Ops {
+				if merged.Ops[k].Name == op.Name {
+					merged.Ops[k].Stats.Add(op.Stats)
+					found = true
+					break
+				}
+			}
+			if !found {
+				merged.Ops = append(merged.Ops, op)
+			}
+		}
 	}
 	merged.Counters = ctr
 	merged.CostUnits = ctr.CostUnits()

@@ -1,0 +1,79 @@
+// Observability overhead benchmarks (DESIGN.md §9): the tentpole contract
+// is zero overhead when disabled and bounded overhead when enabled, measured
+// not argued. Each sub-benchmark runs the same JIT workload and reports
+// ns/arrival and allocs/arrival at four instrumentation levels:
+//
+//   - off          — no tracer attached; the nil-receiver fast path. The
+//     acceptance budget is ≤2% ns/arrival over this baseline at sink=nil.
+//   - nil-sink     — a tracer with no event sink: clock advance, latency
+//     histogram and sampler run; event emission compiles to a pointer test.
+//   - counting     — the cheapest real sink: every event materialized once.
+//   - chrome-trace — a retaining MemorySink, the trace-export configuration.
+//
+// Results are recorded in BENCH_obs.json; TestTracingTransparency
+// (internal/obs) pins that none of these configurations changes a counter.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/exp"
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/predicate"
+	"repro/internal/source"
+	"repro/internal/stream"
+)
+
+// benchObs runs the workload once per iteration with a fresh plan and the
+// given tracer factory, normalizing time and allocations per arrival.
+func benchObs(b *testing.B, tracer func() *obs.Tracer) {
+	cat, conj := predicate.Clique(4)
+	cfg := source.UniformConfig(4, 4.0, 60, 2*stream.Minute, 1)
+	arrivals := source.Generate(cat, cfg)
+	b.ReportAllocs()
+	var r engine.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		built := plan.BuildTree(cat, conj, plan.Bushy(4), plan.Options{
+			Window: stream.Minute, Mode: core.JIT(),
+		})
+		if tr := tracer(); tr != nil {
+			built.SetTrace(tr)
+		}
+		b.StartTimer()
+		r = engine.NewWithOptions(built, engine.Options{Drain: true}).Run(arrivals)
+	}
+	b.StopTimer()
+	perArrival := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(len(arrivals))
+	b.ReportMetric(perArrival, "ns/arrival")
+	b.ReportMetric(float64(r.Results), "results")
+	_ = exp.Params{} // keep the exp import anchored to the harness family
+}
+
+// BenchmarkObs measures the per-arrival observability overhead at each
+// instrumentation level. The nightly CI job snapshots this into
+// BENCH_obs.json.
+func BenchmarkObs(b *testing.B) {
+	b.Run("off", func(b *testing.B) {
+		benchObs(b, func() *obs.Tracer { return nil })
+	})
+	b.Run("nil-sink", func(b *testing.B) {
+		benchObs(b, func() *obs.Tracer {
+			return obs.New(obs.Options{SampleEvery: 10 * stream.Second})
+		})
+	})
+	b.Run("counting", func(b *testing.B) {
+		benchObs(b, func() *obs.Tracer {
+			return obs.New(obs.Options{Sink: &obs.CountingSink{}, SampleEvery: 10 * stream.Second})
+		})
+	})
+	b.Run("chrome-trace", func(b *testing.B) {
+		benchObs(b, func() *obs.Tracer {
+			return obs.New(obs.Options{Sink: &obs.MemorySink{}, SampleEvery: 10 * stream.Second})
+		})
+	})
+}
