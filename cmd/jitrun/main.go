@@ -5,10 +5,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/exp"
@@ -205,7 +207,13 @@ func main() {
 			if err != nil {
 				fail("%v", err)
 			}
-			defer srv.Close()
+			// Graceful teardown: let an in-flight scrape finish reading the
+			// final snapshot instead of tearing its connection mid-body.
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				defer cancel()
+				srv.Shutdown(ctx) //nolint:errcheck // best-effort on exit
+			}()
 			fmt.Fprintf(os.Stderr, "jitrun: ops endpoint at http://%s/metrics (also /trace, /debug/pprof)\n", srv.Addr())
 		}
 	}

@@ -304,13 +304,7 @@ func (c *Controller) Migrate(cut stream.Time, b *plan.Built) *plan.Built {
 	// the replay, and absorb the old high-water mark.
 	oldLive := b.Account.Live()
 	nb.Account.Alloc(oldLive)
-	n := nb.Catalog.NumSources()
-	for _, t := range snap {
-		nb.Counters.Sweeps += uint64(len(nb.Joins))
-		nb.Sweep(t.TS)
-		f := nb.Feeds[t.Source]
-		f.Op.Consume(stream.NewComposite(n, t), f.Port)
-	}
+	nb.ReplayInWindow(snap)
 	nb.Account.Free(oldLive)
 	nb.Account.AbsorbPeak(b.Account)
 	nb.Counters.Add(b.Counters)

@@ -1,0 +1,289 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func sample() *Checkpoint {
+	return &Checkpoint{
+		Cut:       1234 * stream.Second,
+		IngestHWM: 99,
+		Delivered: 41,
+		Config:    "n=3 shape=bushy window=90000 mode={true false false false 0} indexed=false band=0",
+		Keys: []DeliveredKey{
+			{MinTS: 7 * stream.Second, Key: "5|9|12"},
+			{MinTS: 3 * stream.Second, Key: "1|2|4"},
+		},
+		Tail: []TailEntry{
+			{Seq: 40, TS: 8 * stream.Second, Key: "1|2|4"},
+			{Seq: 41, TS: 9 * stream.Second, Key: "5|9|12"},
+		},
+		Rows: []*stream.Tuple{
+			{ID: 1, Source: 0, TS: 3 * stream.Second, Vals: []stream.Value{4, 5}},
+			{ID: 2, Source: 1, TS: 4 * stream.Second, Vals: []stream.Value{-6}},
+			{ID: 3, Source: 2, TS: 5 * stream.Second}, // no values
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	c := sample()
+	data := Encode(c)
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Cut != c.Cut || got.IngestHWM != c.IngestHWM || got.Delivered != c.Delivered || got.Config != c.Config {
+		t.Fatalf("header fields mismatch: %+v vs %+v", got, c)
+	}
+	// Keys are canonically sorted by (MinTS, Key) in the encoding.
+	if len(got.Keys) != 2 || got.Keys[0].Key != "1|2|4" || got.Keys[1].Key != "5|9|12" {
+		t.Fatalf("keys not canonical: %+v", got.Keys)
+	}
+	if !reflect.DeepEqual(got.Tail, c.Tail) {
+		t.Fatalf("tail mismatch:\ngot  %+v\nwant %+v", got.Tail, c.Tail)
+	}
+	if !reflect.DeepEqual(got.Rows, c.Rows) {
+		t.Fatalf("rows mismatch:\ngot  %+v\nwant %+v", got.Rows, c.Rows)
+	}
+	// Re-encoding the decoded checkpoint must be byte-identical — the
+	// determinism the round-trip property test and replica comparison rely on.
+	if !bytes.Equal(Encode(got), data) {
+		t.Fatalf("re-encoding is not byte-identical")
+	}
+}
+
+func TestEncodeIsDeterministic(t *testing.T) {
+	c := sample()
+	a := Encode(c)
+	// Shuffle the key order: the encoding sorts, so bytes must not change.
+	c.Keys[0], c.Keys[1] = c.Keys[1], c.Keys[0]
+	b := Encode(c)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("encoding depends on key order")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	valid := Encode(sample())
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantErr error
+	}{
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }, ErrCorrupt},
+		{"empty", func(b []byte) []byte { return nil }, ErrCorrupt},
+		{"flipped-byte", func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			out[len(out)/3] ^= 0x40
+			return out
+		}, ErrCorrupt},
+		{"bad-crc", func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			out[len(out)-2] = 'f' // inside the hex crc digits
+			return out
+		}, ErrCorrupt},
+		{"trailing-garbage", func(b []byte) []byte {
+			// Appending after the crc trailer breaks trailer parsing.
+			return append(append([]byte(nil), b...), []byte("extra\n")...)
+		}, ErrCorrupt},
+		{"wrong-version", func(b []byte) []byte {
+			out := bytes.Replace(b, []byte("jitckpt v1"), []byte("jitckpt v9"), 1)
+			return fixCRC(out)
+		}, ErrVersion},
+		{"missing-end", func(b []byte) []byte {
+			out := bytes.Replace(b, []byte("\nend\n"), []byte("\n"), 1)
+			return fixCRC(out)
+		}, ErrCorrupt},
+		{"mangled-row", func(b []byte) []byte {
+			out := bytes.Replace(b, []byte("\nr 2 "), []byte("\nr x "), 1)
+			return fixCRC(out)
+		}, ErrCorrupt},
+		{"mangled-tail", func(b []byte) []byte {
+			out := bytes.Replace(b, []byte("\nd 40 "), []byte("\nd xx "), 1)
+			return fixCRC(out)
+		}, ErrCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Decode(tc.mutate(valid))
+			if err == nil {
+				t.Fatalf("corrupt input accepted")
+			}
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("got %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// fixCRC recomputes the trailer so structural mutations are tested on their
+// own merits rather than being caught by the checksum first.
+func fixCRC(data []byte) []byte {
+	idx := bytes.LastIndex(data, []byte("\ncrc "))
+	if idx < 0 {
+		return data
+	}
+	body := append([]byte(nil), data[:idx+1]...)
+	return append(body, []byte(fmt.Sprintf("crc %08x\n", crc32.ChecksumIEEE(body)))...)
+}
+
+func TestStoreSaveLatest(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir, 3)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	c := sample()
+	p, err := st.Save(c)
+	if err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if filepath.Dir(p) != dir {
+		t.Fatalf("saved outside the store dir: %s", p)
+	}
+	got, gotPath, err := st.Latest()
+	if err != nil || got == nil {
+		t.Fatalf("latest: %v %v", got, err)
+	}
+	if gotPath != p {
+		t.Fatalf("latest path %s, want %s", gotPath, p)
+	}
+	if !bytes.Equal(Encode(got), Encode(c)) {
+		t.Fatalf("latest does not round-trip the saved checkpoint")
+	}
+}
+
+func TestStoreRetention(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir, 2)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	c := sample()
+	for i := 0; i < 5; i++ {
+		c.Cut = stream.Time(i) * stream.Second
+		if _, err := st.Save(c); err != nil {
+			t.Fatalf("save %d: %v", i, err)
+		}
+	}
+	if n := st.Count(); n != 2 {
+		t.Fatalf("retention keep=2 left %d files", n)
+	}
+	got, _, err := st.Latest()
+	if err != nil || got == nil {
+		t.Fatalf("latest: %v %v", got, err)
+	}
+	if got.Cut != 4*stream.Second {
+		t.Fatalf("latest cut %d, want the newest (4s)", got.Cut)
+	}
+}
+
+func TestStoreSkipsCorruptNewest(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir, 4)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	c := sample()
+	c.Cut = 1 * stream.Second
+	if _, err := st.Save(c); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	c.Cut = 2 * stream.Second
+	p2, err := st.Save(c)
+	if err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	// Damage the newest file after the rename (the CRC's job, not Save's).
+	data, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if err := os.WriteFile(p2, data[:len(data)-8], 0o644); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	got, gotPath, err := st.Latest()
+	if err != nil || got == nil {
+		t.Fatalf("latest after corruption: %v %v", got, err)
+	}
+	if got.Cut != 1*stream.Second {
+		t.Fatalf("latest fell back to cut %d, want 1s", got.Cut)
+	}
+	if gotPath == p2 {
+		t.Fatalf("latest returned the corrupt file's path")
+	}
+}
+
+func TestStoreCleansTemporaries(t *testing.T) {
+	dir := t.TempDir()
+	// A crashed writer left a stale temporary behind.
+	stale := filepath.Join(dir, prefix+"00000042"+suffix+".tmp")
+	if err := os.WriteFile(stale, []byte("torn"), 0o644); err != nil {
+		t.Fatalf("plant tmp: %v", err)
+	}
+	st, err := OpenStore(dir, 2)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale temporary survived OpenStore")
+	}
+	if n := st.Count(); n != 0 {
+		t.Fatalf("temporary counted as a checkpoint: %d", n)
+	}
+}
+
+func TestStoreResumesSequence(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir, 10)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	c := sample()
+	if _, err := st.Save(c); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if _, err := st.Save(c); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	// A reopened store continues the numbering instead of colliding.
+	st2, err := OpenStore(dir, 10)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	p, err := st2.Save(c)
+	if err != nil {
+		t.Fatalf("save after reopen: %v", err)
+	}
+	if !strings.Contains(p, "00000003") {
+		t.Fatalf("sequence did not resume: %s", p)
+	}
+	if st2.Count() != 3 {
+		t.Fatalf("count %d, want 3", st2.Count())
+	}
+}
+
+func TestLatestEmptyStore(t *testing.T) {
+	st, err := OpenStore(t.TempDir(), 2)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	c, p, err := st.Latest()
+	if err != nil {
+		t.Fatalf("latest: %v", err)
+	}
+	if c != nil || p != "" {
+		t.Fatalf("empty store produced a checkpoint: %v %q", c, p)
+	}
+}

@@ -309,6 +309,14 @@ func (p Params) build() (*stream.Catalog, source.Config, *plan.Built) {
 	return cat, cfg, b
 }
 
+// Build exposes the configuration's catalog, workload config and wired plan
+// without running anything — for harnesses that drive the plan directly
+// (the checkpoint round-trip property test feeds prefixes and snapshots the
+// cut itself).
+func (p Params) Build() (*stream.Catalog, source.Config, *plan.Built) {
+	return p.build()
+}
+
 // NamedMode pairs a label with an operator mode.
 type NamedMode struct {
 	Name string

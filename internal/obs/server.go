@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -158,5 +159,10 @@ func Serve(addr string, r *Registry) (*Server, error) {
 // Addr returns the bound address (useful with ":0").
 func (s *Server) Addr() string { return s.lis.Addr().String() }
 
-// Close shuts the server down.
+// Close shuts the server down immediately, dropping in-flight requests.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown stops accepting new connections and waits for in-flight requests
+// (a scrape mid-read, a pprof profile) to finish, up to the context deadline.
+// On deadline it degrades to Close semantics via the underlying http.Server.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }

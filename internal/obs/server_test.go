@@ -2,11 +2,13 @@ package obs
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/stream"
@@ -130,4 +132,73 @@ func TestOpsEndpoint(t *testing.T) {
 		t.Errorf("healthz said %q", body)
 	}
 	get("/debug/pprof/cmdline")
+}
+
+// TestServerShutdownGraceful proves Shutdown(ctx) lets an in-flight request
+// finish before the server goes away, and that the listener is closed for new
+// connections afterwards.
+func TestServerShutdownGraceful(t *testing.T) {
+	ring := NewRingSink(8)
+	tr := New(Options{Sink: ring, SampleEvery: 10})
+	tr.Bind(&metrics.Counters{}, nil, nil)
+	tr.Advance(1)
+	tr.Advance(25)
+	tr.Finish()
+
+	reg := NewRegistry()
+	reg.Register(tr)
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + srv.Addr()
+
+	// Open a request, read its full body concurrently with Shutdown: graceful
+	// shutdown must let it complete with 200 and an intact payload.
+	started := make(chan struct{})
+	type result struct {
+		status int
+		body   string
+		err    error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			close(started)
+			done <- result{err: err}
+			return
+		}
+		close(started) // connection established; Shutdown must wait for us
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		done <- result{status: resp.StatusCode, body: string(body), err: err}
+	}()
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("in-flight request failed during shutdown: %v", r.err)
+	}
+	if r.status != http.StatusOK {
+		t.Fatalf("in-flight request got status %d", r.status)
+	}
+	if _, err := ParseProm(r.body); err != nil {
+		t.Fatalf("in-flight scrape body is torn: %v", err)
+	}
+
+	// After Shutdown returns, the port must refuse new connections.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("server still accepting connections after Shutdown")
+	}
+	// A second shutdown is a no-op, not a panic.
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("repeated shutdown: %v", err)
+	}
 }

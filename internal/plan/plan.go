@@ -233,6 +233,24 @@ func (b *Built) SnapshotInWindow(cut stream.Time) []*stream.Tuple {
 	return out
 }
 
+// ReplayInWindow feeds snapshot rows back through the plan in order: each
+// row is preceded by a full expiry sweep at its timestamp (charged to
+// Counters.Sweeps) and then consumed at its source's feed, exactly the
+// arrival discipline the engine applies. Replaying a SnapshotInWindow cut
+// into a freshly built plan yields the state that plan would hold had it
+// been running since one window before the cut (DESIGN.md §7) — the restore
+// half of both the adaptive migration handoff (internal/adapt) and the
+// durable checkpoint recovery (internal/checkpoint, internal/serve).
+func (b *Built) ReplayInWindow(rows []*stream.Tuple) {
+	n := b.Catalog.NumSources()
+	for _, t := range rows {
+		b.Counters.Sweeps += uint64(len(b.Joins))
+		b.Sweep(t.TS)
+		f := b.Feeds[t.Source]
+		f.Op.Consume(stream.NewComposite(n, t), f.Port)
+	}
+}
+
 // Replicate builds a fresh plan identical to b — same catalog, predicates,
 // shape and options, but new operators, counters, account and sink, sharing
 // no mutable state with b. A replica is the unit of scale-out in

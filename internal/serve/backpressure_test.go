@@ -1,0 +1,456 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/stream"
+)
+
+func hubNext(h *hub) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.next
+}
+
+// TestHubSubBlockBlocksPublisher pins the SubBlock policy at the hub level:
+// a publisher that would overwrite the slowest subscriber's next delivery
+// blocks, and the subscriber's read is exactly what unblocks it.
+func TestHubSubBlockBlocksPublisher(t *testing.T) {
+	h := newHub(4, SubBlock, 0, nil)
+	sub, err := h.subscribe(0)
+	if err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	for i := 1; i <= 4; i++ {
+		h.publish(Delivery{Seq: uint64(i)}) // fills the ring, must not block
+	}
+	blocked := make(chan struct{})
+	go func() {
+		h.publish(Delivery{Seq: 5})
+		close(blocked)
+	}()
+	select {
+	case <-blocked:
+		t.Fatalf("5th publish into a full ring did not block")
+	case <-time.After(50 * time.Millisecond):
+	}
+	d, done, err := h.nextFor(sub)
+	if err != nil || done || d.Seq != 1 {
+		t.Fatalf("nextFor: %v %v %v", d, done, err)
+	}
+	select {
+	case <-blocked:
+	case <-time.After(2 * time.Second):
+		t.Fatalf("publisher still blocked after the subscriber freed a slot")
+	}
+	// Detaching the only subscriber releases the engine entirely.
+	blocked2 := make(chan struct{})
+	go func() {
+		for i := 6; i <= 20; i++ {
+			h.publish(Delivery{Seq: uint64(i)})
+		}
+		close(blocked2)
+	}()
+	h.unsubscribe(sub)
+	select {
+	case <-blocked2:
+	case <-time.After(2 * time.Second):
+		t.Fatalf("publisher blocked with no subscribers attached")
+	}
+}
+
+// TestHubSubKickKicksLaggard pins the SubKick policy: the publisher never
+// blocks, a subscriber a full ring behind is disconnected with ErrLagged, and
+// a subscriber that keeps up is untouched.
+func TestHubSubKickKicksLaggard(t *testing.T) {
+	h := newHub(4, SubKick, 0, nil)
+	stalled, err := h.subscribe(0)
+	if err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	active, err := h.subscribe(0)
+	if err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	for i := 1; i <= 10; i++ {
+		h.publish(Delivery{Seq: uint64(i)}) // must never block
+		d, done, err := h.nextFor(active)
+		if err != nil || done || d.Seq != uint64(i) {
+			t.Fatalf("active read %d: %v %v %v", i, d, done, err)
+		}
+	}
+	if _, _, err := h.nextFor(stalled); !errors.Is(err, ErrLagged) {
+		t.Fatalf("stalled subscriber not kicked: %v", err)
+	}
+	// The active subscriber is still attached and sees the clean close.
+	h.close(true, 10)
+	if _, done, err := h.nextFor(active); err != nil || !done {
+		t.Fatalf("active subscriber broken after kick of another: %v %v", done, err)
+	}
+}
+
+// TestHubSubscribeBounds pins the resume-cursor clamps: requests below the
+// incarnation's committed mark clamp up (committed deliveries are never
+// re-sent), requests beyond the head clamp down, and requests inside the
+// incarnation but outside the ring fail with ErrLagged.
+func TestHubSubscribeBounds(t *testing.T) {
+	h := newHub(4, SubBlock, 10, nil)
+	s1, err := h.subscribe(3) // below the committed mark: clamps to 10
+	if err != nil {
+		t.Fatalf("subscribe below start: %v", err)
+	}
+	if s1.pos != 10 {
+		t.Fatalf("pos %d, want clamp to start 10", s1.pos)
+	}
+	s2, err := h.subscribe(50) // beyond the head: clamps to next
+	if err != nil {
+		t.Fatalf("subscribe beyond head: %v", err)
+	}
+	if s2.pos != 10 {
+		t.Fatalf("pos %d, want clamp to next 10", s2.pos)
+	}
+	h.unsubscribe(s1)
+	h.unsubscribe(s2)
+	for i := 1; i <= 6; i++ {
+		h.publish(Delivery{Seq: 10 + uint64(i)}) // next=16, base=12
+	}
+	if _, err := h.subscribe(11); !errors.Is(err, ErrLagged) {
+		t.Fatalf("in-incarnation request outside the ring not rejected: %v", err)
+	}
+	if _, err := h.subscribe(12); err != nil {
+		t.Fatalf("oldest retained position rejected: %v", err)
+	}
+}
+
+// quietClient is a protocol connection for background goroutines: failures
+// come back as errors, never as t.Fatal (which must not run off the test
+// goroutine).
+type quietClient struct {
+	conn net.Conn
+	sc   *bufio.Scanner
+	err  error
+}
+
+func netDial(addr string) (*quietClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 4096), MaxFrameBytes+1)
+	return &quietClient{conn: conn, sc: sc}, nil
+}
+
+func (c *quietClient) close() { c.conn.Close() }
+
+// mustSend records the first write failure instead of failing the test; the
+// caller checks c.err once the exchange is over.
+func (c *quietClient) mustSend(v interface{}) {
+	if c.err != nil {
+		return
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		c.err = err
+		return
+	}
+	if _, err := c.conn.Write(append(b, '\n')); err != nil {
+		c.err = err
+	}
+}
+
+func (c *quietClient) tryRecv() (map[string]interface{}, bool) {
+	if !c.sc.Scan() {
+		return nil, false
+	}
+	var m map[string]interface{}
+	if err := json.Unmarshal(c.sc.Bytes(), &m); err != nil {
+		c.err = err
+		return nil, false
+	}
+	return m, true
+}
+
+func toString(v interface{}) string { return fmt.Sprint(v) }
+
+// feedQuiet is feed for background goroutines: failures come back as errors,
+// never as t.Fatal (which must not run off the test goroutine).
+func feedQuiet(addr string, tuples []*stream.Tuple) error {
+	conn, err := netDial(addr)
+	if err != nil {
+		return err
+	}
+	defer conn.close()
+	conn.mustSend(Frame{Cmd: "ingest"})
+	g, ok := conn.tryRecv()
+	if !ok || g["ok"] != true {
+		return errors.New("ingest greeting rejected")
+	}
+	for _, tp := range tuples {
+		conn.mustSend(tupleFrame(tp))
+	}
+	conn.mustSend(Frame{Cmd: "eos"})
+	ack, ok := conn.tryRecv()
+	if !ok || ack["ok"] != true {
+		return errors.New("eos not acknowledged")
+	}
+	return conn.err
+}
+
+// collectQuiet is collect for background goroutines.
+func collectQuiet(addr string, from uint64) (subscription, error) {
+	conn, err := netDial(addr)
+	if err != nil {
+		return subscription{}, err
+	}
+	defer conn.close()
+	conn.mustSend(Frame{Cmd: "subscribe", From: from})
+	g, ok := conn.tryRecv()
+	if !ok {
+		return subscription{}, errors.New("no subscribe greeting")
+	}
+	if g["ok"] != true {
+		return subscription{errLine: toString(g["error"])}, nil
+	}
+	var sub subscription
+	if v, ok := g["resume_seq"].(float64); ok {
+		sub.resumeSeq = uint64(v)
+	}
+	for {
+		m, ok := conn.tryRecv()
+		if !ok {
+			return sub, errors.New("subscriber stream ended without eos or error")
+		}
+		if e, ok := m["error"]; ok {
+			sub.errLine = toString(e)
+			return sub, nil
+		}
+		if m["eos"] == true {
+			sub.delivered = uint64(m["delivered"].(float64))
+			return sub, nil
+		}
+		sub.seqs = append(sub.seqs, uint64(m["seq"].(float64)))
+		sub.keys = append(sub.keys, m["key"].(string))
+	}
+}
+
+// TestBackpressureSubBlockBoundsServer is satellite 2's SubBlock half: a
+// subscriber that stops reading stalls delivery, the stall propagates
+// deterministically back to ingest (the admitted high-water mark pins), the
+// delivery ring never grows past its bound, and the engine's live-state
+// profile is byte-identical to an unstalled run's — the server's memory is
+// bounded by the clean profile no matter how slow a subscriber is. When the
+// subscriber resumes, the run completes and delivers the exact sequence.
+func TestBackpressureSubBlockBoundsServer(t *testing.T) {
+	const retain = 8
+	cfg, base := testParams(core.JIT())
+	_, want := base.RunKeys()
+	if len(want) <= retain+1 {
+		t.Fatalf("workload too sparse (%d finals) to overflow a ring of %d", len(want), retain)
+	}
+	tuples := workload(base)
+
+	// Clean reference run: same query, same trace cadence, free-running.
+	cleanTr := obs.New(obs.Options{SampleEvery: 10 * stream.Second})
+	clean := cfg
+	clean.Trace = cleanTr
+	cs, err := Open(clean)
+	if err != nil {
+		t.Fatalf("open clean: %v", err)
+	}
+	defer cs.Shutdown()
+	cleanDone := make(chan subscription, 1)
+	go func() {
+		sub, err := collectQuiet(cs.Addr(), 0)
+		if err != nil {
+			sub.errLine = err.Error()
+		}
+		cleanDone <- sub
+	}()
+	feed(t, cs.Addr(), tuples)
+	if sub := <-cleanDone; sub.errLine != "" {
+		t.Fatalf("clean subscriber: %s", sub.errLine)
+	}
+	if _, err := cs.Wait(); err != nil {
+		t.Fatalf("clean wait: %v", err)
+	}
+
+	// Stalled run: tiny ring, tiny ingest buffer, a subscriber that attaches
+	// and then refuses to read.
+	stallTr := obs.New(obs.Options{SampleEvery: 10 * stream.Second})
+	scfg := cfg
+	scfg.Retain = retain
+	scfg.MaxPending = 4
+	scfg.Policy = SubBlock
+	scfg.Trace = stallTr
+	s, err := Open(scfg)
+	if err != nil {
+		t.Fatalf("open stalled: %v", err)
+	}
+	defer s.Shutdown()
+	stalled, err := s.hub.subscribe(0)
+	if err != nil {
+		t.Fatalf("hub subscribe: %v", err)
+	}
+	// Runs before the deferred Shutdown (LIFO): if an assertion fails while
+	// the engine is blocked in publish on this cursor, releasing it is the
+	// only way Shutdown's drain can complete. Idempotent with the normal
+	// drain below.
+	defer s.hub.unsubscribe(stalled)
+	tcpDone := make(chan subscription, 1)
+	go func() {
+		sub, err := collectQuiet(s.Addr(), 0)
+		if err != nil {
+			sub.errLine = err.Error()
+		}
+		tcpDone <- sub
+	}()
+	feedDone := make(chan error, 1)
+	go func() { feedDone <- feedQuiet(s.Addr(), tuples) }()
+
+	// The stall point is deterministic: the engine delivers exactly `retain`
+	// results into the ring, then blocks publishing the next one.
+	deadline := time.Now().Add(10 * time.Second)
+	for hubNext(s.hub) < retain {
+		if time.Now().After(deadline) {
+			t.Fatalf("delivery never reached the ring bound (next=%d)", hubNext(s.hub))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Pinned: the ring must not advance while the slow subscriber sits still.
+	pinnedAt := hubNext(s.hub)
+	time.Sleep(100 * time.Millisecond)
+	if got := hubNext(s.hub); got != pinnedAt {
+		t.Fatalf("ring advanced from %d to %d despite a stalled SubBlock subscriber", pinnedAt, got)
+	}
+	if pinnedAt != retain {
+		t.Fatalf("ring pinned at %d, want exactly the bound %d", pinnedAt, retain)
+	}
+	// Ingest pins too, but not at the same instant the ring does: after the
+	// engine blocks in publish, the ingest handler keeps admitting until the
+	// channel's MaxPending slots fill, so the admitted mark can advance a few
+	// IDs past the moment the ring pins. Poll until it quiesces, then assert
+	// the invariant that matters: admission stopped strictly short of the
+	// stream's end.
+	quiesce := time.Now().Add(10 * time.Second)
+	hwm := s.IngestHWM()
+	for {
+		time.Sleep(100 * time.Millisecond)
+		next := s.IngestHWM()
+		if next == hwm {
+			break
+		}
+		if time.Now().After(quiesce) {
+			t.Fatalf("ingest mark never quiesced during the stall (at %d)", next)
+		}
+		hwm = next
+	}
+	if last := tuples[len(tuples)-1].ID; hwm == last {
+		t.Fatalf("ingest admitted the whole stream during the stall")
+	}
+
+	// Resume: drain the stalled cursor; everything completes and matches.
+	go func() {
+		for {
+			if _, done, err := s.hub.nextFor(stalled); done || err != nil {
+				return
+			}
+		}
+	}()
+	if err := <-feedDone; err != nil {
+		t.Fatalf("feeder: %v", err)
+	}
+	sub := <-tcpDone
+	if sub.errLine != "" {
+		t.Fatalf("tcp subscriber: %s", sub.errLine)
+	}
+	if _, err := s.Wait(); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if len(sub.keys) != len(want) {
+		t.Fatalf("stalled run delivered %d, want %d", len(sub.keys), len(want))
+	}
+	for i := range want {
+		if sub.keys[i] != want[i] {
+			t.Fatalf("delivery %d: got %s want %s", i, sub.keys[i], want[i])
+		}
+	}
+
+	// The memory-bound claim: the live-state series of the stalled run is
+	// identical to the clean run's — backpressure holds memory to the clean
+	// profile; it does not buffer past it.
+	cleanS, stallS := cleanTr.Samples(), stallTr.Samples()
+	if len(cleanS) == 0 || len(cleanS) != len(stallS) {
+		t.Fatalf("sample series diverge: clean %d, stalled %d", len(cleanS), len(stallS))
+	}
+	for i := range cleanS {
+		if cleanS[i].T != stallS[i].T || cleanS[i].LiveBytes != stallS[i].LiveBytes {
+			t.Fatalf("sample %d diverges: clean (T=%d live=%d) stalled (T=%d live=%d)",
+				i, cleanS[i].T, cleanS[i].LiveBytes, stallS[i].T, stallS[i].LiveBytes)
+		}
+	}
+}
+
+// TestBackpressureSubKickDropsLaggard is satellite 2's SubKick half: a
+// subscriber that cannot keep up is disconnected, ingest runs to completion
+// at full rate, and the laggard (plus anyone resuming from evicted history)
+// gets ErrLagged rather than silently missing deliveries.
+func TestBackpressureSubKickDropsLaggard(t *testing.T) {
+	const retain = 8
+	cfg, base := testParams(core.JIT())
+	_, want := base.RunKeys()
+	if len(want) <= retain+1 {
+		t.Fatalf("workload too sparse (%d finals) to overflow a ring of %d", len(want), retain)
+	}
+	cfg.Retain = retain
+	cfg.Policy = SubKick
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer s.Shutdown()
+	stalled, err := s.hub.subscribe(0)
+	if err != nil {
+		t.Fatalf("hub subscribe: %v", err)
+	}
+	// The stalled subscriber must not slow the run down: feed synchronously;
+	// the eos ack arriving proves ingest never blocked for long.
+	feed(t, s.Addr(), workload(base))
+	if _, err := s.Wait(); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if _, _, err := s.hub.nextFor(stalled); !errors.Is(err, ErrLagged) {
+		t.Fatalf("laggard not kicked: %v", err)
+	}
+	if got := s.Stats().Delivered; got != uint64(len(want)) {
+		t.Fatalf("kick run delivered %d, want %d", got, len(want))
+	}
+	// Resuming from evicted history is an explicit lag error over the wire.
+	old := collect(t, s.Addr(), 0)
+	if !strings.Contains(old.errLine, "lagged") {
+		t.Fatalf("resume from evicted history: %q, want a lag error", old.errLine)
+	}
+	// Resuming inside the retained tail replays exactly the tail.
+	from := uint64(len(want) - 3)
+	tail := collect(t, s.Addr(), from)
+	if tail.errLine != "" {
+		t.Fatalf("tail resume: %s", tail.errLine)
+	}
+	if len(tail.keys) != 3 {
+		t.Fatalf("tail resume saw %d deliveries, want 3", len(tail.keys))
+	}
+	for i, k := range tail.keys {
+		if k != want[int(from)+i] {
+			t.Fatalf("tail delivery %d: got %s want %s", i, k, want[int(from)+i])
+		}
+	}
+}

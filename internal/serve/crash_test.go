@@ -1,0 +1,428 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/stream"
+)
+
+// ---------------------------------------------------------------------------
+// The kill-point harness (the tentpole's headline deliverable): kill the
+// server at every checkpoint boundary and at mid-epoch arrival points,
+// restart it on the same checkpoint directory, resume ingest past the
+// recovered high-water mark, and require the delivered sequence — committed
+// prefix plus post-recovery deliveries — to be bit-for-bit identical to an
+// uninterrupted run with the same checkpoint cadence, in all four modes.
+// ---------------------------------------------------------------------------
+
+// incarnation is everything one server lifetime produced, as seen by a
+// subscriber that dedups by delivery sequence number (the client half of the
+// exactly-once contract).
+type incarnation struct {
+	deliveries map[uint64]string // seq -> key
+	resumeSeq  uint64            // committed mark from the subscribe greeting
+	recovery   *RecoveryInfo
+	crashed    bool
+	stats      Stats
+}
+
+// runIncarnation opens a server, attaches a subscriber, feeds the whole
+// workload (the server skips IDs its recovery already covers), and waits the
+// run out — crash or clean. Always returns with the server shut down.
+func runIncarnation(t *testing.T, cfg Config, tuples []*stream.Tuple) incarnation {
+	t.Helper()
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer s.Shutdown()
+	inc := incarnation{deliveries: map[uint64]string{}, recovery: s.Recovery()}
+	type subRes struct {
+		sub subscription
+		err error
+	}
+	subCh := make(chan subRes, 1)
+	go func() {
+		sub, err := collectQuiet(s.Addr(), 0)
+		subCh <- subRes{sub, err}
+	}()
+	// Feed errors are expected on a crash incarnation (the connection dies
+	// mid-stream); the crash/clean verdict comes from Wait.
+	feedErr := feedQuiet(s.Addr(), tuples)
+	_, werr := s.Wait()
+	inc.crashed = errors.Is(werr, ErrCrashed)
+	if werr != nil && !inc.crashed {
+		t.Fatalf("wait: %v", werr)
+	}
+	if !inc.crashed && feedErr != nil {
+		t.Fatalf("feed failed on a clean run: %v", feedErr)
+	}
+	r := <-subCh
+	if !inc.crashed && (r.err != nil || r.sub.errLine != "") {
+		t.Fatalf("subscriber failed on a clean run: %v %q", r.err, r.sub.errLine)
+	}
+	inc.resumeSeq = r.sub.resumeSeq
+	for i, seq := range r.sub.seqs {
+		inc.deliveries[seq] = r.sub.keys[i]
+	}
+	inc.stats = s.Stats()
+	return inc
+}
+
+// mergeIncarnations folds lifetimes into one client-side delivery map,
+// failing on the one thing exactly-once forbids: the same sequence number
+// naming two different results.
+func mergeIncarnations(t *testing.T, incs ...incarnation) map[uint64]string {
+	t.Helper()
+	merged := map[uint64]string{}
+	for n, inc := range incs {
+		for seq, key := range inc.deliveries {
+			if prev, ok := merged[seq]; ok && prev != key {
+				t.Fatalf("incarnation %d re-delivered seq %d as %q, previously %q", n, seq, key, prev)
+			}
+			merged[seq] = key
+		}
+	}
+	return merged
+}
+
+// sequenceOf flattens a delivery map into the key sequence, requiring the
+// sequence numbers to be exactly 1..len with no gaps or strays.
+func sequenceOf(t *testing.T, m map[uint64]string) []string {
+	t.Helper()
+	seqs := make([]uint64, 0, len(m))
+	for s := range m {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	out := make([]string, 0, len(m))
+	for i, s := range seqs {
+		if s != uint64(i+1) {
+			t.Fatalf("delivery sequence has a hole: position %d holds seq %d", i, s)
+		}
+		out = append(out, m[s])
+	}
+	return out
+}
+
+func assertSameSequence(t *testing.T, label string, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: delivered %d results, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: delivery %d is %s, want %s", label, i+1, got[i], want[i])
+		}
+	}
+}
+
+// durableParams is testParams plus the crash cadence: checkpoints every 30
+// app-seconds, several boundaries inside the 3-minute horizon.
+func durableParams(mode core.Mode) (Config, exp.Params) {
+	cfg, base := testParams(mode)
+	cfg.Every = 30 * stream.Second
+	return cfg, base
+}
+
+// TestCrashRecoveryMatrix is the in-process kill-point matrix: for each mode,
+// arm a crash at every checkpoint boundary the uninterrupted baseline writes,
+// and at early / quarter / half / three-quarter arrival points (mid-epoch:
+// between checkpoint cuts). One crash + one recovery per point.
+func TestCrashRecoveryMatrix(t *testing.T) {
+	for _, nm := range exp.AblationModes() {
+		nm := nm
+		t.Run(nm.Name, func(t *testing.T) {
+			t.Parallel()
+			cfg, base := durableParams(nm.Mode)
+			tuples := workload(base)
+
+			// Uninterrupted baseline with the identical checkpoint cadence —
+			// the reference the crash-equivalence property is stated against.
+			bcfg := cfg
+			bcfg.Dir = t.TempDir()
+			bl := runIncarnation(t, bcfg, tuples)
+			if bl.crashed {
+				t.Fatalf("baseline crashed")
+			}
+			want := sequenceOf(t, bl.deliveries)
+			if len(want) == 0 {
+				t.Fatalf("degenerate baseline: no deliveries")
+			}
+			midCk := bl.stats.Checkpoints - 1 // minus the end-of-run checkpoint
+			if midCk < 2 {
+				t.Fatalf("cadence too coarse: %d mid-run checkpoints", midCk)
+			}
+
+			type killPoint struct {
+				name   string
+				arm    func(*Config)
+				needCk bool // recovery must find a checkpoint
+			}
+			var points []killPoint
+			for k := 1; k <= midCk; k++ {
+				k := k
+				points = append(points, killPoint{
+					name:   fmt.Sprintf("boundary-%d", k),
+					arm:    func(c *Config) { c.crashAfterCheckpoints = k },
+					needCk: true,
+				})
+			}
+			n := uint64(len(tuples))
+			for _, p := range []struct {
+				name string
+				at   uint64
+			}{
+				{"arrival-first", 1}, // before anything is durable
+				{"arrival-quarter", n / 4},
+				{"arrival-half", n / 2},
+				{"arrival-threequarter", 3 * n / 4},
+			} {
+				p := p
+				points = append(points, killPoint{
+					name: p.name,
+					arm:  func(c *Config) { c.crashAfterArrivals = p.at },
+				})
+			}
+
+			for _, kp := range points {
+				kp := kp
+				t.Run(kp.name, func(t *testing.T) {
+					dir := t.TempDir()
+					armed := cfg
+					armed.Dir = dir
+					kp.arm(&armed)
+					i1 := runIncarnation(t, armed, tuples)
+					if !i1.crashed {
+						t.Fatalf("armed kill point never fired")
+					}
+					clean := cfg
+					clean.Dir = dir
+					i2 := runIncarnation(t, clean, tuples)
+					if i2.crashed {
+						t.Fatalf("recovery incarnation crashed")
+					}
+					if kp.needCk {
+						if i2.recovery == nil {
+							t.Fatalf("recovery found no checkpoint after a boundary kill")
+						}
+						t.Logf("recovered %s: %d rows, %d keys, hwm=%d, delivered=%d in %v",
+							filepath.Base(i2.recovery.Path), i2.recovery.Rows, i2.recovery.Keys,
+							i2.recovery.IngestHWM, i2.recovery.Delivered, i2.recovery.Elapsed)
+					}
+					if i2.recovery != nil {
+						// The subscribe greeting carries the delivery floor:
+						// the committed mark minus the restored ring tail.
+						if i2.resumeSeq+uint64(i2.recovery.Tail) != i2.recovery.Delivered {
+							t.Fatalf("subscriber floor %d + tail %d != committed %d",
+								i2.resumeSeq, i2.recovery.Tail, i2.recovery.Delivered)
+						}
+					}
+					got := sequenceOf(t, mergeIncarnations(t, i1, i2))
+					assertSameSequence(t, kp.name, got, want)
+				})
+			}
+		})
+	}
+}
+
+// TestCrashChainedAtEveryBoundary crashes ONE lineage at its next checkpoint
+// boundary, over and over — crash, recover, crash again one checkpoint later
+// — until an incarnation survives to end-of-stream. Every recovery must
+// splice seamlessly onto the committed prefix.
+func TestCrashChainedAtEveryBoundary(t *testing.T) {
+	cfg, base := durableParams(core.JIT())
+	tuples := workload(base)
+
+	bcfg := cfg
+	bcfg.Dir = t.TempDir()
+	bl := runIncarnation(t, bcfg, tuples)
+	want := sequenceOf(t, bl.deliveries)
+
+	dir := t.TempDir()
+	var incs []incarnation
+	for i := 0; ; i++ {
+		if i >= 25 {
+			t.Fatalf("lineage did not converge in 25 incarnations")
+		}
+		armed := cfg
+		armed.Dir = dir
+		armed.crashAfterCheckpoints = 1 // the next boundary this incarnation reaches
+		inc := runIncarnation(t, armed, tuples)
+		incs = append(incs, inc)
+		if !inc.crashed {
+			t.Logf("lineage converged after %d crashes", i)
+			break
+		}
+	}
+	if len(incs) < 3 {
+		t.Fatalf("cadence produced only %d incarnations; chain too short to mean anything", len(incs))
+	}
+	got := sequenceOf(t, mergeIncarnations(t, incs...))
+	assertSameSequence(t, "chained", got, want)
+}
+
+// ---------------------------------------------------------------------------
+// Subprocess SIGKILL variant: the same property with a real kill(2), not a
+// panic — the server process dies mid-write with no deferred functions run.
+// ---------------------------------------------------------------------------
+
+const (
+	helperDirEnv  = "SERVE_CRASH_HELPER_DIR"
+	helperAddrEnv = "SERVE_CRASH_HELPER_ADDRFILE"
+)
+
+// TestServeCrashHelper is not a test: it is the server subprocess, entered
+// only when the parent re-execs the test binary with the env gate set.
+func TestServeCrashHelper(t *testing.T) {
+	dir := os.Getenv(helperDirEnv)
+	if dir == "" {
+		t.Skip("helper process entry point; enabled by env only")
+	}
+	cfg, _ := durableParams(core.JIT())
+	cfg.Dir = dir
+	s, err := Open(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "helper open: %v\n", err)
+		os.Exit(2)
+	}
+	// Publish the bound address atomically; the parent polls for it.
+	addrFile := os.Getenv(helperAddrEnv)
+	tmp := addrFile + ".tmp"
+	if err := os.WriteFile(tmp, []byte(s.Addr()), 0o644); err != nil {
+		os.Exit(2)
+	}
+	if err := os.Rename(tmp, addrFile); err != nil {
+		os.Exit(2)
+	}
+	select {} // hold the server until the parent kills the process
+}
+
+// spawnHelper starts the server subprocess and waits for its listen address.
+func spawnHelper(t *testing.T, dir, addrFile string) *exec.Cmd {
+	t.Helper()
+	os.Remove(addrFile)
+	cmd := exec.Command(os.Args[0], "-test.run=^TestServeCrashHelper$")
+	cmd.Env = append(os.Environ(), helperDirEnv+"="+dir, helperAddrEnv+"="+addrFile)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("spawn helper: %v", err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if b, err := os.ReadFile(addrFile); err == nil && strings.Contains(string(b), ":") {
+			return cmd
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatalf("helper never published its address")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCrashRecoverySIGKILL kills the server process with SIGKILL after its
+// first durable checkpoint, restarts it on the same directory, resumes, and
+// requires the assembled delivery sequence to equal the uninterrupted run's.
+func TestCrashRecoverySIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess harness skipped in -short")
+	}
+	cfg, base := durableParams(core.JIT())
+	tuples := workload(base)
+
+	// In-process baseline with the identical cadence.
+	bcfg := cfg
+	bcfg.Dir = t.TempDir()
+	bl := runIncarnation(t, bcfg, tuples)
+	want := sequenceOf(t, bl.deliveries)
+
+	dir := t.TempDir()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+
+	// Incarnation 1: feed most of the stream, wait for a durable checkpoint
+	// to exist, then SIGKILL mid-flight.
+	cmd := spawnHelper(t, dir, addrFile)
+	addr, _ := os.ReadFile(addrFile)
+	sub1Ch := make(chan subscription, 1)
+	go func() {
+		sub, err := collectQuiet(string(addr), 0)
+		if err != nil && sub.errLine == "" {
+			sub.errLine = err.Error() // a severed socket is expected here
+		}
+		sub1Ch <- sub
+	}()
+	c1, err := netDial(string(addr))
+	if err != nil {
+		t.Fatalf("dial helper: %v", err)
+	}
+	c1.mustSend(Frame{Cmd: "ingest"})
+	if g, ok := c1.tryRecv(); !ok || g["ok"] != true {
+		t.Fatalf("helper ingest greeting: %v", g)
+	}
+	for _, tp := range tuples[:3*len(tuples)/4] {
+		c1.mustSend(tupleFrame(tp))
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if m, _ := filepath.Glob(filepath.Join(dir, "ck-*.jck")); len(m) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatalf("no checkpoint appeared before the kill window")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cmd.Process.Kill() // SIGKILL: no shutdown path runs
+	cmd.Wait()
+	c1.close()
+	s1 := <-sub1Ch
+
+	// Incarnation 2: restart on the same directory, re-send everything
+	// (the server skips what its checkpoint covers), read to eos.
+	cmd = spawnHelper(t, dir, addrFile)
+	defer func() { cmd.Process.Kill(); cmd.Wait() }()
+	addr2, _ := os.ReadFile(addrFile)
+	sub2Ch := make(chan subscription, 1)
+	go func() {
+		sub, err := collectQuiet(string(addr2), 0)
+		if err != nil {
+			sub.errLine = err.Error()
+		}
+		sub2Ch <- sub
+	}()
+	if err := feedQuiet(string(addr2), tuples); err != nil {
+		t.Fatalf("resume feed: %v", err)
+	}
+	s2 := <-sub2Ch
+	if s2.errLine != "" {
+		t.Fatalf("resume subscriber: %s", s2.errLine)
+	}
+
+	toInc := func(s subscription) incarnation {
+		inc := incarnation{deliveries: map[uint64]string{}, resumeSeq: s.resumeSeq}
+		for i, seq := range s.seqs {
+			inc.deliveries[seq] = s.keys[i]
+		}
+		return inc
+	}
+	got := sequenceOf(t, mergeIncarnations(t, toInc(s1), toInc(s2)))
+	assertSameSequence(t, "sigkill", got, want)
+	// The hole-free merged sequence above is the restored-tail property at
+	// work: deliveries committed by the checkpoint but never read before the
+	// SIGKILL came back from the restarted server's re-seeded ring.
+	if len(s2.seqs) == 0 {
+		t.Fatalf("recovered incarnation delivered nothing")
+	}
+}

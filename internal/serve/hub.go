@@ -1,0 +1,237 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/stream"
+)
+
+// Delivery is one final result as seen by subscribers: a monotone sequence
+// number (the delivery high-water mark's unit), the result timestamp, and
+// the canonical result key.
+type Delivery struct {
+	Seq uint64
+	TS  stream.Time
+	Key string
+}
+
+// SubPolicy decides what happens when a subscriber cannot keep up with the
+// delivery rate.
+type SubPolicy int
+
+const (
+	// SubBlock applies backpressure: the engine's delivery blocks until
+	// the slowest subscriber frees ring space, which in turn stalls ingest
+	// deterministically (the bounded-memory guarantee of DESIGN.md §10).
+	SubBlock SubPolicy = iota
+	// SubKick disconnects a subscriber that falls a full ring behind, so
+	// ingest continues at full rate; the kicked client may reconnect and
+	// resume from its last seq if the ring still holds it.
+	SubKick
+)
+
+func (p SubPolicy) String() string {
+	if p == SubKick {
+		return "kick"
+	}
+	return "block"
+}
+
+// ErrLagged is returned to a subscriber whose position fell out of the
+// retained delivery ring (kick policy, or a resume request older than the
+// ring start).
+var ErrLagged = fmt.Errorf("serve: subscriber lagged beyond the retained delivery window")
+
+// hub fans deliveries out to subscribers through one bounded ring: the ring
+// IS the per-run delivery retention, so server memory for results is
+// O(ring) regardless of run length or subscriber speed. Publish runs on the
+// engine goroutine; subscriber readers run on their connection goroutines.
+type hub struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	ring   []Delivery
+	next   uint64 // absolute index of the next delivery to publish
+	base   uint64 // deliveries with absolute index < base left the ring
+	start  uint64 // the incarnation's delivery floor (committed − restored tail)
+	subs   map[*subscriber]struct{}
+	policy SubPolicy
+	closed bool
+	eos    bool
+	final  uint64 // total delivered, valid once eos
+}
+
+// subscriber is one attached reader's cursor into the ring.
+type subscriber struct {
+	pos    uint64
+	kicked bool
+}
+
+// newHub builds the delivery ring for an incarnation whose committed
+// delivery mark is `committed`. tail, when non-empty, re-seeds the ring with
+// the previous incarnation's retained deliveries (newest last, contiguous
+// sequence numbers ending at committed) so subscribers that had not read a
+// committed delivery when the process died can still fetch it; entries
+// beyond this ring's capacity are dropped oldest-first, exactly as live
+// retention would have dropped them.
+func newHub(retain int, policy SubPolicy, committed uint64, tail []Delivery) *hub {
+	if retain < 1 {
+		retain = 1 << 14
+	}
+	if len(tail) > retain {
+		tail = tail[len(tail)-retain:]
+	}
+	base := committed - uint64(len(tail))
+	h := &hub{
+		ring:   make([]Delivery, retain),
+		next:   committed,
+		base:   base,
+		start:  base,
+		subs:   make(map[*subscriber]struct{}),
+		policy: policy,
+	}
+	for i, d := range tail {
+		h.ring[(base+uint64(i))%uint64(retain)] = d
+	}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+// tailSnapshot copies the live ring contents — the deliveries the hub could
+// still re-send — oldest first. The checkpointer persists this alongside the
+// cut so the retention window survives a kill.
+func (h *hub) tailSnapshot() []Delivery {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]Delivery, 0, h.next-h.base)
+	for p := h.base; p < h.next; p++ {
+		out = append(out, h.ring[p%uint64(len(h.ring))])
+	}
+	return out
+}
+
+// publish appends one delivery, applying the overflow policy. Called from
+// the engine goroutine only.
+func (h *hub) publish(d Delivery) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	if h.policy == SubBlock {
+		// Block while any live subscriber would lose d's slot: the ring
+		// slot about to be overwritten is h.next - len(ring).
+		for h.next >= uint64(len(h.ring)) && h.minPos() <= h.next-uint64(len(h.ring)) && !h.closed {
+			h.cond.Wait()
+		}
+		if h.closed {
+			return
+		}
+	}
+	h.ring[h.next%uint64(len(h.ring))] = d
+	h.next++
+	if h.next-h.base > uint64(len(h.ring)) {
+		h.base = h.next - uint64(len(h.ring))
+	}
+	if h.policy == SubKick {
+		for s := range h.subs {
+			if s.pos < h.base {
+				s.kicked = true
+			}
+		}
+	}
+	h.cond.Broadcast()
+}
+
+// minPos returns the smallest live subscriber cursor, or max-uint when no
+// subscriber is attached (an empty room never blocks the engine).
+func (h *hub) minPos() uint64 {
+	min := ^uint64(0)
+	for s := range h.subs {
+		if !s.kicked && s.pos < min {
+			min = s.pos
+		}
+	}
+	return min
+}
+
+// subscribe attaches a reader resuming after delivery seq `from`. Requests
+// below the incarnation's floor — the committed mark minus the restored tail
+// — clamp up to it: deliveries at or below the floor are gone for good (that
+// is the greeting's resume_seq contract). Requests inside the incarnation
+// but older than the retained ring fail with ErrLagged.
+func (h *hub) subscribe(from uint64) (*subscriber, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	pos := from
+	if pos < h.start {
+		pos = h.start
+	}
+	if pos < h.base {
+		return nil, fmt.Errorf("%w: want seq %d, ring starts at %d", ErrLagged, from+1, h.base+1)
+	}
+	if pos > h.next {
+		pos = h.next
+	}
+	s := &subscriber{pos: pos}
+	h.subs[s] = struct{}{}
+	// A new (possibly slower) cursor changes minPos; wake a blocked
+	// publisher so it re-evaluates, and wake readers idempotently.
+	h.cond.Broadcast()
+	return s, nil
+}
+
+// unsubscribe detaches a reader; its cursor no longer holds the ring back.
+func (h *hub) unsubscribe(s *subscriber) {
+	h.mu.Lock()
+	delete(h.subs, s)
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+// nextFor blocks until a delivery is available for the subscriber and
+// returns it; done=true means a clean end-of-stream (after the final
+// delivery), err non-nil a kicked/lagged subscriber or an abrupt close.
+func (h *hub) nextFor(s *subscriber) (d Delivery, done bool, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for {
+		if s.kicked {
+			return Delivery{}, false, ErrLagged
+		}
+		if s.pos < h.next {
+			if s.pos < h.base {
+				return Delivery{}, false, ErrLagged
+			}
+			d = h.ring[s.pos%uint64(len(h.ring))]
+			s.pos++
+			h.cond.Broadcast() // publisher may be waiting on minPos
+			return d, false, nil
+		}
+		if h.closed {
+			if h.eos {
+				return Delivery{}, true, nil
+			}
+			return Delivery{}, false, fmt.Errorf("serve: server closed")
+		}
+		h.cond.Wait()
+	}
+}
+
+// close ends the stream: eos=true is the clean drain (subscribers get a
+// final eos frame), eos=false an abrupt crash-style teardown.
+func (h *hub) close(eos bool, delivered uint64) {
+	h.mu.Lock()
+	h.closed = true
+	h.eos = eos
+	h.final = delivered
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+// delivered returns the final delivery count (valid after an eos close).
+func (h *hub) delivered() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.final
+}

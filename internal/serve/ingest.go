@@ -1,0 +1,219 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+
+	"repro/internal/stream"
+)
+
+// Wire response lines (see the protocol comment in protocol.go).
+type greetLine struct {
+	OK        bool    `json:"ok"`
+	ResumeID  *uint64 `json:"resume_id,omitempty"`
+	ResumeSeq *uint64 `json:"resume_seq,omitempty"`
+}
+
+type ackLine struct {
+	OK       bool   `json:"ok"`
+	Ingested uint64 `json:"ingested"`
+	Skipped  uint64 `json:"skipped"`
+}
+
+type errLine struct {
+	Error string `json:"error"`
+}
+
+type deliveryLine struct {
+	Seq uint64 `json:"seq"`
+	TS  int64  `json:"ts"`
+	Key string `json:"key"`
+}
+
+type eosLine struct {
+	EOS       bool   `json:"eos"`
+	Delivered uint64 `json:"delivered"`
+}
+
+// writeLine marshals one response line and flushes it.
+func writeLine(w *bufio.Writer, v interface{}) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	if err := w.WriteByte('\n'); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// writeErr sends a protocol error line; the connection closes right after.
+func writeErr(w *bufio.Writer, err error) {
+	writeLine(w, errLine{Error: err.Error()}) //nolint:errcheck // conn is closing
+}
+
+// handleConn reads the role-declaring first line and dispatches.
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	s.track(conn)
+	defer s.untrack(conn)
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 4096), MaxFrameBytes+1)
+	w := bufio.NewWriter(conn)
+	if !sc.Scan() {
+		return
+	}
+	f, err := DecodeFrame(sc.Bytes())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	switch f.Cmd {
+	case "ingest":
+		s.setRole(conn, roleIngest)
+		s.serveIngest(sc, w)
+	case "subscribe":
+		s.setRole(conn, roleSubscribe)
+		s.serveSubscribe(w, f.From)
+	default:
+		writeErr(w, fmt.Errorf("%w: first line must declare {\"cmd\":\"ingest\"} or {\"cmd\":\"subscribe\"}", ErrMalformed))
+	}
+}
+
+func (s *Server) track(c net.Conn) {
+	s.mu.Lock()
+	s.conns[c] = rolePending
+	s.mu.Unlock()
+}
+
+func (s *Server) setRole(c net.Conn, r connRole) {
+	s.mu.Lock()
+	s.conns[c] = r
+	s.mu.Unlock()
+}
+
+func (s *Server) untrack(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// serveIngest owns the single active ingest session: admission (one writer,
+// stream still open), greeting with the resume mark, then the frame loop.
+// Every reject path returns a typed error line BEFORE the frame touches the
+// engine channel — a rejected frame provably leaves the engine untouched.
+func (s *Server) serveIngest(sc *bufio.Scanner, w *bufio.Writer) {
+	s.mu.Lock()
+	if s.ingestActive {
+		s.mu.Unlock()
+		writeErr(w, ErrIngestBusy)
+		return
+	}
+	if s.eosSeen || s.stopping {
+		s.mu.Unlock()
+		writeErr(w, ErrStreamClosed)
+		return
+	}
+	s.ingestActive = true
+	sess := &session{
+		numSources: s.b.Catalog.NumSources(),
+		arity:      func(id stream.SourceID) int { return s.b.Catalog.Source(id).NumCols() },
+		resumeHWM:  s.ingestHWM,
+		disorder:   s.cfg.Disorder,
+		lastID:     s.ingestHWM,
+		maxTS:      s.ingestMaxTS,
+		started:    s.ingestSeen,
+	}
+	hwm := s.ingestHWM
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.ingestActive = false
+		s.skipped += sess.skipped
+		s.cond.Broadcast() // Shutdown may be waiting the session out
+		s.mu.Unlock()
+	}()
+	if err := writeLine(w, greetLine{OK: true, ResumeID: &hwm}); err != nil {
+		return
+	}
+	var ingested uint64
+	for sc.Scan() {
+		f, err := DecodeFrame(sc.Bytes())
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		switch f.Cmd {
+		case "eos":
+			s.closeIngest()
+			writeLine(w, ackLine{OK: true, Ingested: ingested, Skipped: sess.skipped}) //nolint:errcheck // conn is closing
+			return
+		case "":
+			// A tuple frame.
+		default:
+			writeErr(w, fmt.Errorf("%w: unknown command %q", ErrMalformed, f.Cmd))
+			return
+		}
+		t, err := sess.apply(f)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		if t == nil {
+			continue // recovery replay of an already-covered ID
+		}
+		select {
+		case s.ch <- t:
+		case <-s.done:
+			writeErr(w, fmt.Errorf("serve: engine stopped"))
+			return
+		}
+		s.mu.Lock()
+		s.ingestHWM, s.ingestMaxTS, s.ingestSeen = t.ID, sess.maxTS, true
+		s.mu.Unlock()
+		ingested++
+	}
+	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			writeErr(w, ErrFrameTooLong)
+		} else {
+			writeErr(w, fmt.Errorf("%w: %v", ErrMalformed, err))
+		}
+	}
+}
+
+// serveSubscribe attaches the connection to the delivery hub and streams
+// result lines until end-of-stream, a lag disconnect, or a crash.
+func (s *Server) serveSubscribe(w *bufio.Writer, from uint64) {
+	sub, err := s.hub.subscribe(from)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	defer s.hub.unsubscribe(sub)
+	start := s.hub.start
+	if err := writeLine(w, greetLine{OK: true, ResumeSeq: &start}); err != nil {
+		return
+	}
+	for {
+		d, done, err := s.hub.nextFor(sub)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		if done {
+			writeLine(w, eosLine{EOS: true, Delivered: s.hub.delivered()}) //nolint:errcheck // conn is closing
+			return
+		}
+		if err := writeLine(w, deliveryLine{Seq: d.Seq, TS: int64(d.TS), Key: d.Key}); err != nil {
+			return
+		}
+	}
+}

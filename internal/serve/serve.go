@@ -1,0 +1,451 @@
+// Package serve is the network front-end of the repository (DESIGN.md §10):
+// a long-running server that accepts base tuples over NDJSON-over-TCP
+// (protocol.go), feeds them through engine.ChanSource into a single live
+// plan, streams final results back to subscriber connections through a
+// bounded delivery ring (hub.go), and — when given a checkpoint directory —
+// periodically makes the §7 snapshot cut durable (internal/checkpoint) so a
+// killed server restarts into exactly the state it checkpointed, resuming
+// exactly-once past the recovered high-water marks.
+//
+// # Recovery protocol
+//
+// Open loads the newest valid checkpoint (corrupt files fall back to their
+// predecessor), refuses it if its config identity differs from the server's,
+// rebuilds the plan, seeds the delivery tap with the checkpoint's dedup keys
+// and delivery sequence, replays the checkpoint rows (plan.ReplayInWindow),
+// and starts the engine with the ingest HWM as the resume mark. The ingest
+// greeting then tells the client to resume past the HWM (re-sent IDs at or
+// below it are skipped as recovery replays), and the subscriber greeting
+// carries the incarnation's delivery floor — the committed sequence minus
+// the restored ring tail; deliveries at or below the floor are gone for
+// good, while committed-but-unread deliveries inside the tail remain
+// re-readable exactly as they were from the live ring (clients dedup by
+// sequence number). Everything the pre-crash server did after its last
+// checkpoint is regenerated deterministically from the replayed state plus
+// the client's re-sent arrivals — the crash-equivalence property the
+// kill-point harness (crash_test.go) pins in every mode.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/operator"
+	"repro/internal/plan"
+	"repro/internal/predicate"
+	"repro/internal/stream"
+)
+
+// ErrCrashed is returned by Wait when the engine died at an armed kill point
+// (the in-process crash harness) instead of reaching end-of-stream.
+var ErrCrashed = fmt.Errorf("serve: engine crashed before end of stream")
+
+// Config describes one server instance: the query it runs and how it serves.
+type Config struct {
+	// N, Bushy, Window, Mode, Indexed and Band define the query exactly as
+	// the jitrun flags of the same names do: an N-source clique (predicate.
+	// Clique) under the Table II bushy or left-deep shape.
+	N       int
+	Bushy   bool
+	Window  stream.Time
+	Mode    core.Mode
+	Indexed bool
+	Band    stream.Value
+	// Disorder admits bounded out-of-timestamp-order ingest (DESIGN.md §8).
+	// Incompatible with a checkpoint directory: the reorder buffer sits
+	// between the ingest HWM and the plan, so a durable cut cannot name the
+	// covered prefix by a single ID.
+	Disorder stream.Time
+
+	// Addr is the TCP listen address ("127.0.0.1:0" picks a free port).
+	Addr string
+	// Dir, when non-empty, enables durability: checkpoints are written there
+	// and the newest valid one is recovered on Open.
+	Dir string
+	// Every is the checkpoint interval in application time; zero means one
+	// window.
+	Every stream.Time
+	// Keep bounds checkpoint retention (checkpoint.OpenStore; zero means 2).
+	Keep int
+	// MaxPending is the ingest channel buffer — arrivals admitted but not
+	// yet processed; zero means 1024. Beyond it the ingest connection blocks
+	// (TCP backpressure).
+	MaxPending int
+	// Retain is the delivery ring size (hub); zero means 16384.
+	Retain int
+	// Policy decides what happens to subscribers that cannot keep up:
+	// SubBlock (default) stalls the engine — and transitively ingest — until
+	// they drain; SubKick disconnects them.
+	Policy SubPolicy
+	// KeepResults retains every delivered composite in the sink (tests).
+	KeepResults bool
+	// Trace attaches an observability tracer to the plan (DESIGN.md §9) —
+	// the jitserver ops endpoint and the backpressure memory-bound tests
+	// hang off it. Nil leaves observation disabled.
+	Trace *obs.Tracer
+
+	// Kill-point hooks for the in-process crash harness (tests only): panic
+	// at the Nth checkpoint / arrival of this incarnation. Require Dir.
+	crashAfterCheckpoints int
+	crashAfterArrivals    uint64
+}
+
+// Validate rejects configurations the server cannot serve correctly.
+func (c Config) Validate() error {
+	switch {
+	case c.N < 2:
+		return fmt.Errorf("serve: need at least 2 sources (N=%d)", c.N)
+	case c.Window <= 0:
+		return fmt.Errorf("serve: window must be positive (window=%v)", c.Window)
+	case c.Addr == "":
+		return fmt.Errorf("serve: listen address required")
+	case c.Band < 0:
+		return fmt.Errorf("serve: band tolerance cannot be negative (%d)", c.Band)
+	case c.Disorder < 0:
+		return fmt.Errorf("serve: disorder bound cannot be negative (%v)", c.Disorder)
+	case c.Dir != "" && c.Disorder > 0:
+		return fmt.Errorf("serve: checkpointing requires in-order ingest (disorder=%v): the reorder buffer would sit outside the durable cut", c.Disorder)
+	case c.Every < 0:
+		return fmt.Errorf("serve: checkpoint interval cannot be negative (%v)", c.Every)
+	case c.Every > 0 && c.Dir == "":
+		return fmt.Errorf("serve: checkpoint interval set but no checkpoint dir")
+	case c.MaxPending < 0:
+		return fmt.Errorf("serve: ingest buffer cannot be negative (%d)", c.MaxPending)
+	case c.Retain < 0:
+		return fmt.Errorf("serve: delivery ring size cannot be negative (%d)", c.Retain)
+	case (c.crashAfterCheckpoints > 0 || c.crashAfterArrivals > 0) && c.Dir == "":
+		return fmt.Errorf("serve: crash hooks require a checkpoint dir")
+	}
+	return nil
+}
+
+// shape resolves the plan shape.
+func (c Config) shape() *plan.Node {
+	if c.Bushy {
+		return plan.Bushy(c.N)
+	}
+	return plan.LeftDeep(c.N)
+}
+
+// identity is the config string stored in checkpoints: restore refuses a
+// checkpoint taken under a different query — replaying its rows into this
+// plan would silently build wrong state.
+func (c Config) identity() string {
+	return fmt.Sprintf("n=%d shape=%s window=%d mode=%v indexed=%t band=%d",
+		c.N, c.shape().Canonical(), c.Window, c.Mode, c.Indexed, c.Band)
+}
+
+// RecoveryInfo describes one recovery performed by Open.
+type RecoveryInfo struct {
+	Path      string        // checkpoint file restored
+	Cut       stream.Time   // its snapshot cut
+	Rows      int           // in-window rows replayed
+	Keys      int           // dedup seed entries
+	Tail      int           // delivery-ring entries restored for re-reads
+	IngestHWM uint64        // resume mark handed to ingest clients
+	Delivered uint64        // committed delivery sequence
+	Elapsed   time.Duration // wall time of decode + replay
+}
+
+// Stats is a post-run summary (valid after Wait returns).
+type Stats struct {
+	Delivered   uint64 // total deliveries, committed prefix included
+	ReplayDups  uint64 // recovery regenerations absorbed by the tap
+	Checkpoints int    // checkpoints written this incarnation
+	Skipped     uint64 // recovery replay frames skipped by ingest sessions
+	SaveErr     error  // first checkpoint save failure, if any
+}
+
+// Server is one running instance.
+type Server struct {
+	cfg Config
+	b   *plan.Built
+	lis net.Listener
+	hub *hub
+	tap *tap
+	st  *checkpoint.Store
+	ckp *checkpointer
+	ch  chan *stream.Tuple
+
+	recovery *RecoveryInfo
+	done     chan struct{}
+	wg       sync.WaitGroup
+
+	mu           sync.Mutex
+	cond         *sync.Cond // signals ingest-session release (Shutdown waits)
+	conns        map[net.Conn]connRole
+	stopping     bool
+	ingestActive bool
+	ingestHWM    uint64
+	ingestMaxTS  stream.Time
+	ingestSeen   bool
+	skipped      uint64
+	eosSeen      bool
+	crashed      bool
+	res          engine.Result
+}
+
+// connRole tracks what a connection declared itself to be; Shutdown kicks
+// pending and ingest connections but lets subscribers finish their stream.
+type connRole int
+
+const (
+	rolePending connRole = iota
+	roleIngest
+	roleSubscribe
+)
+
+// Open builds the plan, recovers the newest checkpoint (when Dir is set),
+// binds the listener and starts the engine. The server is serving when Open
+// returns.
+func Open(cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cat, conj := predicate.Clique(cfg.N)
+	if cfg.Band > 0 {
+		conj = conj.WithTol(cfg.Band)
+	}
+	b := plan.BuildTree(cat, conj, cfg.shape(), plan.Options{
+		Window: cfg.Window, Mode: cfg.Mode, NoStateIndex: !cfg.Indexed,
+		KeepResults: cfg.KeepResults,
+	})
+	s := &Server{
+		cfg:   cfg,
+		b:     b,
+		done:  make(chan struct{}),
+		conns: make(map[net.Conn]connRole),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	var ck *checkpoint.Checkpoint
+	var ckPath string
+	if cfg.Dir != "" {
+		st, err := checkpoint.OpenStore(cfg.Dir, cfg.Keep)
+		if err != nil {
+			return nil, err
+		}
+		s.st = st
+		if ck, ckPath, err = st.Latest(); err != nil {
+			return nil, err
+		}
+		if ck != nil && ck.Config != cfg.identity() {
+			return nil, fmt.Errorf("serve: checkpoint %s config mismatch: server %q, checkpoint %q",
+				ckPath, cfg.identity(), ck.Config)
+		}
+	}
+	var resumeID, resumeSeq uint64
+	var seed []checkpoint.DeliveredKey
+	var tail []Delivery
+	if ck != nil {
+		resumeID, resumeSeq, seed = ck.IngestHWM, ck.Delivered, ck.Keys
+		// The restored delivery tail must be contiguous and end exactly at
+		// the committed mark, or the ring seed would lie about sequence
+		// numbers.
+		base := resumeSeq - uint64(len(ck.Tail))
+		tail = make([]Delivery, len(ck.Tail))
+		for i, d := range ck.Tail {
+			if d.Seq != base+uint64(i)+1 {
+				return nil, fmt.Errorf("serve: checkpoint %s delivery tail is not contiguous at seq %d", ckPath, d.Seq)
+			}
+			tail[i] = Delivery{Seq: d.Seq, TS: d.TS, Key: d.Key}
+		}
+	}
+	s.hub = newHub(cfg.Retain, cfg.Policy, resumeSeq, tail)
+	s.tap = newTap(b.Sink, s.hub, resumeSeq, seed)
+	b.RootJoin().SetConsumer(s.tap, operator.Left)
+	if cfg.Trace != nil {
+		// Attached before the replay, so recovery work is visible in the
+		// trace like migration replays are (DESIGN.md §9).
+		b.SetTrace(cfg.Trace)
+	}
+	// Exact-delivery before the replay: the server always drains, and the
+	// replayed state must be the state an exact-mode run would hold.
+	for _, j := range b.Joins {
+		j.SetExact(true)
+	}
+	if ck != nil {
+		start := time.Now()
+		b.ReplayInWindow(ck.Rows)
+		s.recovery = &RecoveryInfo{
+			Path: ckPath, Cut: ck.Cut, Rows: len(ck.Rows), Keys: len(ck.Keys),
+			Tail: len(ck.Tail), IngestHWM: resumeID, Delivered: resumeSeq,
+			Elapsed: time.Since(start),
+		}
+		// Every delivery the replay regenerated was committed pre-crash and
+		// absorbed by the seeded tap; the sequence must not have advanced.
+		if s.tap.seq != resumeSeq {
+			return nil, fmt.Errorf("serve: recovery replay delivered %d uncommitted results — checkpoint %s is inconsistent",
+				s.tap.seq-resumeSeq, ckPath)
+		}
+		s.ingestMaxTS, s.ingestSeen = ck.Cut, true
+	}
+	s.ingestHWM = resumeID
+	pending := cfg.MaxPending
+	if pending == 0 {
+		pending = 1024
+	}
+	s.ch = make(chan *stream.Tuple, pending)
+	opts := engine.Options{Drain: true, Disorder: cfg.Disorder}
+	if s.st != nil {
+		every := cfg.Every
+		if every == 0 {
+			every = cfg.Window
+		}
+		s.ckp = &checkpointer{
+			st: s.st, tap: s.tap, every: every, window: cfg.Window,
+			config: cfg.identity(), hwm: resumeID, pending: resumeID,
+			lastTS:                resumeID2TS(ck),
+			crashAfterCheckpoints: cfg.crashAfterCheckpoints,
+			crashAfterArrivals:    cfg.crashAfterArrivals,
+		}
+		opts.Reopt = s.ckp
+	}
+	eng := engine.NewWithOptions(b, opts)
+	lis, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listen %s: %w", cfg.Addr, err)
+	}
+	s.lis = lis
+	go s.runLoop(eng)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// resumeID2TS seeds the checkpointer's clock from the recovered cut so a
+// restart that sees no further arrivals still writes its final checkpoint at
+// a sane horizon.
+func resumeID2TS(ck *checkpoint.Checkpoint) stream.Time {
+	if ck == nil {
+		return 0
+	}
+	return ck.Cut
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Recovery reports the recovery Open performed, or nil for a fresh start.
+func (s *Server) Recovery() *RecoveryInfo { return s.recovery }
+
+// runLoop drives the engine to end-of-stream on its own goroutine, recovering
+// armed kill-point panics into a crashed shutdown. On a clean finish the
+// listener stays open — late subscribers may still fetch the retained ring —
+// until Shutdown; a crash closes it, because a crashed server is dead.
+func (s *Server) runLoop(eng *engine.Engine) {
+	defer close(s.done)
+	defer func() {
+		if r := recover(); r != nil {
+			if err, ok := r.(error); ok && errors.Is(err, errCrash) {
+				s.mu.Lock()
+				s.crashed = true
+				s.mu.Unlock()
+				s.hub.close(false, 0)
+				s.lis.Close()
+				return
+			}
+			panic(r)
+		}
+	}()
+	res := eng.RunStream(engine.ChanSource(s.ch))
+	if s.ckp != nil {
+		s.ckp.finish(eng.Built())
+	}
+	s.mu.Lock()
+	s.res = res
+	s.mu.Unlock()
+	s.hub.close(true, s.tap.seq)
+}
+
+// acceptLoop hands each connection to its own goroutine until the listener
+// closes (end of run or Shutdown).
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// Wait blocks until the engine finishes and returns its result; ErrCrashed
+// when an armed kill point fired instead of a clean end-of-stream.
+func (s *Server) Wait() (engine.Result, error) {
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return engine.Result{}, ErrCrashed
+	}
+	return s.res, nil
+}
+
+// Stats summarizes the run; call after Wait has returned.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	skipped := s.skipped
+	s.mu.Unlock()
+	st := Stats{Delivered: s.tap.seq, ReplayDups: s.tap.dups, Skipped: skipped}
+	if s.ckp != nil {
+		st.Checkpoints = s.ckp.saved
+		st.SaveErr = s.ckp.err
+	}
+	return st
+}
+
+// Sink exposes the run's sink (delivery log under KeepResults; tests).
+func (s *Server) Sink() *operator.Sink { return s.b.Sink }
+
+// IngestHWM returns the highest tuple ID admitted to the engine so far (the
+// mark a new ingest session's greeting would carry).
+func (s *Server) IngestHWM() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ingestHWM
+}
+
+// Shutdown stops the server: the listener closes, pending and ingest
+// connections are kicked (tuples already admitted stay admitted), the ingest
+// channel closes so the engine drains what it has, and in-flight subscriber
+// streams run to their eos line before the handlers are reaped. Safe to call
+// more than once and after the run already ended.
+func (s *Server) Shutdown() {
+	s.lis.Close()
+	s.mu.Lock()
+	s.stopping = true
+	for c, role := range s.conns {
+		if role != roleSubscribe {
+			c.Close()
+		}
+	}
+	// The ingest handler is the channel's only sender; wait for it to leave
+	// before closing the channel. Kicked above, it exits as soon as its next
+	// socket read or channel send returns.
+	for s.ingestActive {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+	s.closeIngest()
+	<-s.done
+	s.wg.Wait()
+}
+
+// closeIngest closes the engine's input channel exactly once. Callers must
+// guarantee no ingest session is active (the eos path runs on the session's
+// own handler; Shutdown waits the session out first).
+func (s *Server) closeIngest() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.eosSeen {
+		s.eosSeen = true
+		close(s.ch)
+	}
+}

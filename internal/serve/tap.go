@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"repro/internal/checkpoint"
+	"repro/internal/operator"
+	"repro/internal/stream"
+)
+
+// tap is the server's delivery gate, spliced between the plan root and the
+// sink (the same splice point as the adaptive migration tap, internal/adapt).
+// Every final result passes through exactly once, where it gets its delivery
+// sequence number, is recorded in the recovery dedup seed, forwarded to the
+// sink (counters, ordering check), and published to the subscriber hub.
+//
+// The seed map holds the canonical keys of delivered results by minimum
+// constituent timestamp. After a recovery, replaying the checkpoint rows
+// regenerates exactly the delivered results whose constituents were all
+// in-window at the cut; the seed (restored from the checkpoint) absorbs them
+// so no committed delivery is ever re-published. Entries age out once their
+// oldest constituent leaves the window — no future replay can rebuild them —
+// which bounds the map to one window of deliveries rather than the run's
+// history (pruned at each checkpoint).
+//
+// All methods run on the engine goroutine; the hub does its own locking.
+type tap struct {
+	sink *operator.Sink
+	hub  *hub
+	seen map[string]stream.Time // delivered key -> min constituent TS
+	seq  uint64                 // delivery sequence HWM (continues past recovery)
+	dups uint64                 // recovery replay regenerations absorbed
+}
+
+func newTap(sink *operator.Sink, h *hub, resumeSeq uint64, seed []checkpoint.DeliveredKey) *tap {
+	t := &tap{sink: sink, hub: h, seen: make(map[string]stream.Time, len(seed)), seq: resumeSeq}
+	for _, k := range seed {
+		t.seen[k.Key] = k.MinTS
+	}
+	return t
+}
+
+// Consume implements operator.Consumer.
+func (t *tap) Consume(c *stream.Composite, p operator.Port) {
+	k := c.Key()
+	if _, ok := t.seen[k]; ok {
+		// A recovery replay regenerated a committed delivery: absorb it.
+		t.dups++
+		return
+	}
+	t.seen[k] = c.MinTS
+	t.seq++
+	t.sink.Consume(c, p)
+	// publish may block under the SubBlock policy — that stall propagates
+	// back through the engine goroutine to the ingest channel and out to the
+	// client's TCP write: the server's bounded-memory backpressure chain.
+	t.hub.publish(Delivery{Seq: t.seq, TS: c.TS, Key: k})
+}
+
+// seed prunes entries whose oldest constituent left the window by the cut
+// and returns the survivors — the dedup seed a checkpoint at this cut needs.
+func (t *tap) seed(cut, window stream.Time) []checkpoint.DeliveredKey {
+	var out []checkpoint.DeliveredKey
+	for k, ts := range t.seen {
+		if ts+window <= cut {
+			delete(t.seen, k)
+			continue
+		}
+		out = append(out, checkpoint.DeliveredKey{MinTS: ts, Key: k})
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+// Network-service benchmarks (DESIGN.md §10): what the serve front-end costs
+// on top of the bare engine, measured at its two ends.
+//
+//   - ingest   — end-to-end NDJSON-over-TCP serving: a fresh server per
+//     iteration, every arrival framed, written over a real socket, decoded,
+//     validated and engine-processed, the stream closed with eos and drained.
+//     Reported as ns/arrival, comparable with the engine-only figures in
+//     BENCH_obs.json (the delta is the network front-end's overhead).
+//   - recovery — crash recovery from a meaty mid-run checkpoint: the setup
+//     runs a checkpointing server across several boundaries and abandons it
+//     without the final drain (the abandoned incarnation stands in for a
+//     killed one), then each iteration restores the newest cut into a fresh
+//     server — decode, plan rebuild, in-window replay — and reports both the
+//     full Open wall time and the decode+replay slice (RecoveryInfo.Elapsed).
+//
+// Results are recorded in BENCH_serve.json; the kill-point harness
+// (internal/serve/crash_test.go) pins that recovery is exact in every mode,
+// so this file only has to measure it.
+package repro_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/predicate"
+	"repro/internal/serve"
+	"repro/internal/source"
+	"repro/internal/stream"
+)
+
+// serveWorkload is the clique workload shared by both sub-benchmarks: the
+// BENCH_hostile.json baseline family (N=4 bushy JIT, rate 2.5, dmax 24 —
+// narrow enough that the 4-clique actually produces finals, so deliveries
+// flow through the hub and the recovered checkpoint carries a delivery tail)
+// over three minutes of stream time, crossing several 15-second checkpoint
+// boundaries.
+func serveWorkload() []*stream.Tuple {
+	cat, _ := predicate.Clique(4)
+	return source.Generate(cat, source.UniformConfig(4, 2.5, 24, 3*stream.Minute, 1))
+}
+
+func serveConfig(dir string) serve.Config {
+	cfg := serve.Config{
+		N: 4, Bushy: true, Window: stream.Minute, Mode: core.JIT(),
+		Addr: "127.0.0.1:0",
+	}
+	if dir != "" {
+		cfg.Dir, cfg.Every, cfg.Keep = dir, 15*stream.Second, 8
+	}
+	return cfg
+}
+
+// feedAll speaks the ingest protocol: greet, stream every tuple as a frame,
+// then eos when asked; the final summary line is read back so the engine has
+// fully drained before the connection closes.
+func feedAll(b *testing.B, addr string, tuples []*stream.Tuple, eos bool) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		b.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	w := bufio.NewWriterSize(conn, 64<<10)
+	sc := bufio.NewScanner(conn)
+	fmt.Fprintln(w, `{"cmd":"ingest"}`)
+	w.Flush()
+	if !sc.Scan() {
+		b.Fatalf("no ingest greeting")
+	}
+	enc := json.NewEncoder(w)
+	for _, t := range tuples {
+		vals := make([]int64, len(t.Vals))
+		for i, v := range t.Vals {
+			vals[i] = int64(v)
+		}
+		if err := enc.Encode(serve.Frame{ID: t.ID, Source: int(t.Source), TS: int64(t.TS), Vals: vals}); err != nil {
+			b.Fatalf("frame: %v", err)
+		}
+	}
+	if eos {
+		fmt.Fprintln(w, `{"cmd":"eos"}`)
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatalf("flush: %v", err)
+	}
+	if eos && !sc.Scan() {
+		b.Fatalf("no eos summary: %v", sc.Err())
+	}
+}
+
+// BenchmarkServe measures the network front-end. The nightly CI job snapshots
+// this into BENCH_serve.json.
+func BenchmarkServe(b *testing.B) {
+	tuples := serveWorkload()
+
+	b.Run("ingest", func(b *testing.B) {
+		var delivered uint64
+		for i := 0; i < b.N; i++ {
+			cfg := serveConfig("")
+			s, err := serve.Open(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			feedAll(b, s.Addr(), tuples, true)
+			if _, err := s.Wait(); err != nil {
+				b.Fatal(err)
+			}
+			s.Shutdown()
+			delivered = s.Stats().Delivered
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(tuples)), "ns/arrival")
+		b.ReportMetric(float64(delivered), "deliveries")
+	})
+
+	b.Run("recovery", func(b *testing.B) {
+		// Seed: run a checkpointing server over the whole workload but do NOT
+		// shut it down before copying the store — Shutdown's drain would write
+		// the empty end-of-run checkpoint and recovery would restore nothing.
+		// The fully-fed, never-drained incarnation is exactly a crashed one.
+		seedDir := b.TempDir()
+		s, err := serve.Open(serveConfig(seedDir))
+		if err != nil {
+			b.Fatal(err)
+		}
+		feedAll(b, s.Addr(), tuples, false)
+		// The ingest HWM is admission-side: arrivals can still be in flight to
+		// the engine (and checkpoints still landing, pruning older ones) after
+		// it reaches the last ID. Wait for the store itself to go quiescent,
+		// then hold the newest cut's bytes in memory, immune to pruning.
+		var seed []byte
+		deadline := time.Now().Add(30 * time.Second)
+		for prev := ""; time.Now().Before(deadline); {
+			names, err := filepath.Glob(filepath.Join(seedDir, "ck-*.jck"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			cur := fmt.Sprint(names)
+			if len(names) > 0 && cur == prev {
+				data, err := os.ReadFile(names[len(names)-1])
+				if err == nil {
+					seed = data
+					break
+				}
+			}
+			prev = cur
+			time.Sleep(100 * time.Millisecond)
+		}
+		if seed == nil {
+			b.Fatal("checkpoint store never went quiescent")
+		}
+
+		var rows, tail int
+		var replay time.Duration
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir := b.TempDir()
+			if err := os.WriteFile(filepath.Join(dir, "ck-00000001.jck"), seed, 0o644); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			r, err := serve.Open(serveConfig(dir))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			rec := r.Recovery()
+			if rec == nil {
+				b.Fatal("no recovery performed")
+			}
+			rows, tail, replay = rec.Rows, rec.Tail, rec.Elapsed
+			r.Shutdown()
+			b.StartTimer()
+		}
+		b.ReportMetric(float64(replay.Nanoseconds()), "replay-ns")
+		b.ReportMetric(float64(rows), "rows")
+		b.ReportMetric(float64(tail), "tail")
+		s.Shutdown()
+	})
+}
