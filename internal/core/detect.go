@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"repro/internal/bloom"
 	"repro/internal/feedback"
 	"repro/internal/lattice"
@@ -181,7 +183,7 @@ func (j *JoinOp) bloomAtomAbsent(c *stream.Composite, s, o *side, k int) bool {
 			inAttr = predicate.Attr{Source: p.Right, Col: p.RCol}
 			opAttr = predicate.Attr{Source: p.Left, Col: p.LCol}
 		}
-		flt := o.blooms[opAttr]
+		flt := o.blooms.get(opAttr)
 		if flt == nil {
 			continue
 		}
@@ -207,10 +209,10 @@ func (j *JoinOp) bloomInsert(s *side, c *stream.Composite) {
 			continue
 		}
 		for _, a := range j.preds.JoinAttrs(src, o.sources) {
-			flt := s.blooms[a]
+			flt := s.blooms.get(a)
 			if flt == nil {
 				flt = bloom.NewForCapacity(256)
-				s.blooms[a] = flt
+				s.blooms.put(a, flt)
 				j.acct.Alloc(flt.SizeBytes())
 			}
 			j.ctr.BloomChecks++
@@ -220,9 +222,12 @@ func (j *JoinOp) bloomInsert(s *side, c *stream.Composite) {
 }
 
 // bloomNoteDeletes records purges against the side's filters, rebuilding
-// them from the live state when stale bits accumulate.
+// them from the live state when stale bits accumulate. The bloomSet keeps
+// its filters in attribute order, so sweep and rebuild work is charged in
+// the same order every run.
 func (j *JoinOp) bloomNoteDeletes(s *side, n int) {
-	for a, flt := range s.blooms {
+	for i, flt := range s.blooms.filters {
+		a := s.blooms.attrs[i]
 		for i := 0; i < n; i++ {
 			flt.NoteDelete()
 		}
@@ -239,6 +244,48 @@ func (j *JoinOp) bloomNoteDeletes(s *side, n int) {
 		j.ctr.BloomChecks += uint64(len(vals))
 		flt.Rebuild(vals)
 	}
+}
+
+// bloomSet holds a side's per-attribute filters as parallel slices in
+// (Source, Col) order. The set is tiny — one entry per crossing join
+// attribute — so ordered linear lookup costs less than a map, and unlike a
+// map its iteration order is fixed: the purge-path sweep above is
+// deterministic by construction rather than by argument (jitlint maporder
+// would flag a map range here).
+type bloomSet struct {
+	attrs   []predicate.Attr
+	filters []*bloom.Filter
+}
+
+// get returns the filter for a, or nil. A nil receiver (bloom detection
+// off) has no filters.
+func (b *bloomSet) get(a predicate.Attr) *bloom.Filter {
+	if b == nil {
+		return nil
+	}
+	for i, at := range b.attrs {
+		if at == a {
+			return b.filters[i]
+		}
+	}
+	return nil
+}
+
+// put inserts the filter for a new attribute, keeping (Source, Col) order.
+func (b *bloomSet) put(a predicate.Attr, f *bloom.Filter) {
+	i := sort.Search(len(b.attrs), func(i int) bool {
+		at := b.attrs[i]
+		if at.Source != a.Source {
+			return at.Source > a.Source
+		}
+		return at.Col >= a.Col
+	})
+	b.attrs = append(b.attrs, predicate.Attr{})
+	copy(b.attrs[i+1:], b.attrs[i:])
+	b.attrs[i] = a
+	b.filters = append(b.filters, nil)
+	copy(b.filters[i+1:], b.filters[i:])
+	b.filters[i] = f
 }
 
 // registerMarks enrolls a freshly stored tuple in any origin mark entry it

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/bloom"
 	"repro/internal/feedback"
 	"repro/internal/lattice"
 	"repro/internal/metrics"
@@ -69,7 +68,7 @@ type side struct {
 	detectable bool
 	// Bloom filters over THIS side's state values, keyed by attribute;
 	// queried when detecting MNSs on the opposite side's inputs.
-	blooms map[predicate.Attr]*bloom.Filter
+	blooms *bloomSet
 	// Exact-mode graveyard: entries purged from st, retained because a
 	// late recovery emission (an upstream resumption's catch-up result)
 	// may still form pairs REF formed live with them. Only inputs with
@@ -204,7 +203,7 @@ func NewJoin(cfg Config) *JoinOp {
 		s.level1Only = len(s.atoms) > j.mode.MaxAtoms || len(s.atoms) > lattice.MaxAtoms
 		s.detectable = j.mode.enabled() && prod != nil && prod.CanSuspend() && len(s.atoms) > 0
 		if j.mode.Detect == DetectBloom {
-			s.blooms = make(map[predicate.Attr]*bloom.Filter)
+			s.blooms = new(bloomSet)
 		}
 		return s
 	}

@@ -182,7 +182,7 @@ func ChanSource(ch <-chan *stream.Tuple) func() (*stream.Tuple, bool) {
 // then restores timestamp order before the pipeline sees anything.
 func (e *Engine) RunStream(next func() (*stream.Tuple, bool)) Result {
 	b := e.built
-	start := time.Now()
+	start := time.Now() //jitlint:allow wallclock Result.Wall is operator-facing elapsed time; no deterministic artifact reads it
 	// The run's tracer is the initial plan's: migrations hand it to each
 	// successor plan (adapt.Controller.Migrate → SetTrace), while this local
 	// keeps engine-level events (arrivals, watermarks, clock) attached to
@@ -260,7 +260,7 @@ func (e *Engine) RunStream(next func() (*stream.Tuple, bool)) Result {
 	// migrations (a migration swaps b and its Counters).
 	b.Counters.LateDropped += late
 	tr.Finish()
-	wall := time.Since(start)
+	wall := time.Since(start) //jitlint:allow wallclock Result.Wall is operator-facing elapsed time; no deterministic artifact reads it
 	ops := make([]metrics.NamedOpStats, len(b.Joins))
 	for i, j := range b.Joins {
 		ops[i] = metrics.NamedOpStats{Name: j.Name(), Stats: j.Stats()}

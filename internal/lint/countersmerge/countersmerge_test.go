@@ -1,0 +1,22 @@
+package countersmerge_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/countersmerge"
+	"repro/internal/lint/linttest"
+)
+
+func TestCountersmergeMetrics(t *testing.T) {
+	linttest.Run(t, "testdata/src/metrics", countersmerge.Analyzer)
+}
+
+func TestCountersmergeObs(t *testing.T) {
+	linttest.Run(t, "testdata/src/obs", countersmerge.Analyzer)
+}
+
+// TestCountersmergeDrift checks the config-drift diagnostic: a target
+// whose merge function disappears is reported, not skipped.
+func TestCountersmergeDrift(t *testing.T) {
+	linttest.Run(t, "testdata/src/drift/metrics", countersmerge.Analyzer)
+}

@@ -1,0 +1,16 @@
+// Package metrics (drift variant) is a countersmerge fixture for config
+// drift: a target type whose audited merge function does not exist at all.
+package metrics
+
+// Counters has no Add — the analyzer reports the missing target instead of
+// silently skipping it.
+type Counters struct { // want "countersmerge target Counters.Add not found"
+	Probes uint64
+}
+
+// OpStats satisfies its targets trivially: no fields, nothing to miss.
+type OpStats struct{}
+
+func (s *OpStats) Add(o OpStats) {}
+
+func (s OpStats) Delta(prev OpStats) OpStats { return OpStats{} }

@@ -1,0 +1,33 @@
+// Package metrics is a countersmerge fixture: Counters.Add forgets a
+// field, OpStats is fully merged (selector form in Add, composite-literal
+// keys in Delta).
+package metrics
+
+// Counters is the fixture counter block.
+type Counters struct {
+	Probes  uint64
+	Emitted uint64
+	Dropped uint64
+}
+
+// Add merges o into c — deliberately missing Dropped.
+func (c *Counters) Add(o *Counters) { // want "Counters.Add does not reference Counters field Dropped"
+	c.Probes += o.Probes
+	c.Emitted += o.Emitted
+}
+
+// OpStats is complete under both of its audited functions.
+type OpStats struct {
+	Probes uint64
+	Hits   uint64
+}
+
+func (s *OpStats) Add(o OpStats) {
+	s.Probes += o.Probes
+	s.Hits += o.Hits
+}
+
+// Delta mentions every field through composite-literal keys, which count.
+func (s OpStats) Delta(prev OpStats) OpStats {
+	return OpStats{Probes: s.Probes - prev.Probes, Hits: s.Hits - prev.Hits}
+}

@@ -1,0 +1,44 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/load"
+	"repro/internal/lint/suite"
+)
+
+// TestDogfood runs the full analyzer suite over the whole repository and
+// demands a clean tree: every invariant violation is either fixed or
+// carries a justified //jitlint:allow. Skipped under -short — CI runs the
+// identical check as an explicit `go run ./cmd/jitlint ./...` step, and
+// type-checking the whole module takes a few seconds.
+func TestDogfood(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-tree lint is the CI jitlint step; skip in the short loop")
+	}
+	abs, err := filepath.Abs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := moduleRoot(t, abs)
+	l, err := load.New(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := l.PackageDirs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lint.Run(l, suite.All(), dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Findings {
+		t.Errorf("%s", d)
+	}
+	if len(res.Findings) > 0 {
+		t.Errorf("%d finding(s): fix the site or add a justified //jitlint:allow", len(res.Findings))
+	}
+}

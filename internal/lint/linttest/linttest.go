@@ -1,0 +1,142 @@
+// Package linttest runs one analyzer over a testdata fixture package and
+// checks its findings against // want annotations — the stdlib-sized
+// analogue of golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture line that should be flagged carries a trailing comment
+//
+//	bad() // want "regexp" "second regexp"
+//
+// with one Go-quoted regexp per expected finding on that line. Suppressed
+// findings (a line carrying a justified //jitlint:allow) must NOT be
+// wanted: fixtures assert the full driver pipeline, suppression semantics
+// included.
+package linttest
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/load"
+)
+
+// Run loads the fixture package in dir (relative to the test's working
+// directory), applies the analyzer through the full driver — suppression
+// matching included — and compares findings against the fixture's // want
+// annotations.
+func Run(t *testing.T, dir string, a *lint.Analyzer) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := moduleRoot(t, abs)
+	l, err := load.New(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lint.Run(l, []*lint.Analyzer{a}, []string{abs})
+	if err != nil {
+		t.Fatalf("lint run on %s: %v", dir, err)
+	}
+	pkg, err := l.Load(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := collectWants(t, l.Fset, pkg.Files)
+	for _, d := range res.Findings {
+		k := posKey{filepath.Base(d.Pos.Filename), d.Pos.Line}
+		if !consume(wants[k], d.Message) {
+			t.Errorf("unexpected finding %s", d)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("%s:%d: no finding matched want %q", k.file, k.line, w.re.String())
+			}
+		}
+	}
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+func consume(ws []*want, msg string) bool {
+	for _, w := range ws {
+		if !w.used && w.re.MatchString(msg) {
+			w.used = true
+			return true
+		}
+	}
+	return false
+}
+
+var wantArg = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[posKey][]*want {
+	t.Helper()
+	out := map[posKey][]*want{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// The marker may trail other comment text (a malformed
+				// //jitlint:allow under test, say), so search rather than
+				// require a prefix.
+				i := strings.Index(c.Text, "// want ")
+				if i < 0 {
+					continue
+				}
+				rest := c.Text[i+len("// want "):]
+				pos := fset.Position(c.Pos())
+				k := posKey{filepath.Base(pos.Filename), pos.Line}
+				args := wantArg.FindAllString(rest, -1)
+				if len(args) == 0 {
+					t.Fatalf("%s:%d: malformed want comment %q", k.file, k.line, c.Text)
+				}
+				for _, q := range args {
+					s, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", k.file, k.line, q, err)
+					}
+					re, err := regexp.Compile(s)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", k.file, k.line, s, err)
+					}
+					out[k] = append(out[k], &want{re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// moduleRoot walks up from dir to the enclosing go.mod — fixtures live
+// inside the repo and type-check against the real module (tracedisc
+// fixtures import the real repro/internal/obs).
+func moduleRoot(t *testing.T, dir string) string {
+	t.Helper()
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			t.Fatalf("no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}

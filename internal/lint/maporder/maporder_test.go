@@ -1,0 +1,18 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	linttest.Run(t, "testdata/src/engine", maporder.Analyzer)
+}
+
+// TestMaporderScope checks the package filter: identical code outside the
+// deterministic packages is not the analyzer's business.
+func TestMaporderScope(t *testing.T) {
+	linttest.Run(t, "testdata/src/harness", maporder.Analyzer)
+}

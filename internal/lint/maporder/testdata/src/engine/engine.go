@@ -1,0 +1,81 @@
+// Package engine is a maporder fixture: raw map ranges are flagged, the
+// collect-and-sort and map-clear idioms and justified suppressions are not.
+package engine
+
+import (
+	"slices"
+	"sort"
+)
+
+// Flagged: keys collected but never sorted before use.
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "range over map m in deterministic package"
+		out = append(out, k)
+	}
+	return out
+}
+
+// Not flagged: the collect-and-sort idiom with sort.Strings.
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Not flagged: the collect-and-sort idiom with slices.Sort.
+func valsSorted(m map[string]int) []int {
+	var vs []int
+	for _, v := range m {
+		vs = append(vs, v)
+	}
+	slices.Sort(vs)
+	return vs
+}
+
+// Not flagged: the map-clear idiom.
+func clearAll(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// Flagged: a sort before the loop does not order what the loop collects.
+func sortBefore(m map[string]int, seedKeys []string) []string {
+	sort.Strings(seedKeys)
+	out := seedKeys
+	for k := range m { // want "range over map m in deterministic package"
+		out = append(out, k)
+	}
+	return out
+}
+
+// Flagged: the body does more than collect, so sorting cannot save it.
+func sideEffects(m map[string]int, sum *int) {
+	for _, v := range m { // want "range over map m in deterministic package"
+		*sum += v
+	}
+}
+
+// Suppressed: a justified annotation on the line above silences the
+// finding (and counts as used, so the driver does not flag it as stale).
+func commutative(m map[string]int) int {
+	total := 0
+	//jitlint:allow maporder fixture: summation is commutative, any visit order yields the same total
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Not flagged: ranging a slice is ordered.
+func sliceRange(s []int) int {
+	t := 0
+	for _, v := range s {
+		t += v
+	}
+	return t
+}

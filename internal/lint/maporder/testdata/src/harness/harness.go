@@ -1,0 +1,11 @@
+// Package harness is a maporder scope fixture: its import-path base is not
+// in DeterministicPackages, so even a raw map range draws no finding.
+package harness
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/lint/load"
+)
+
+// Result is one driver run over a set of packages.
+type Result struct {
+	// Findings are the unsuppressed diagnostics, plus one finding per
+	// unused //jitlint:allow annotation (a suppression that excuses
+	// nothing is stale and must leave with the violation it excused).
+	Findings []Diagnostic
+	// Suppressed are diagnostics matched by a justified annotation.
+	Suppressed []Diagnostic
+	// Allows is the suppression inventory: every annotation seen in the
+	// analyzed (non-test) files, malformed ones included.
+	Allows []Allow
+}
+
+// Run applies the analyzers to the packages in dirs (each a directory
+// under the loader's module root). Analyzers only see non-test files: the
+// invariants guard shipped code, and tests legitimately use wall-clock
+// deadlines and seeded randomness. Diagnostics and the inventory come back
+// in stable (file, line) order.
+func Run(l *load.Loader, analyzers []*Analyzer, dirs []string) (*Result, error) {
+	res := &Result{}
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	for _, dir := range dirs {
+		pkg, err := l.Load(dir)
+		if err != nil {
+			return nil, err
+		}
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			if !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     l.Fset,
+				Files:    pkg.Files,
+				Path:     pkg.Path,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				report:   func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		sup := newSuppressor()
+		var uses []*allowUse
+		for _, f := range pkg.Files {
+			for _, al := range ParseAllows(l.Fset, f) {
+				res.Allows = append(res.Allows, al)
+				uses = append(uses, sup.add(al))
+			}
+		}
+		for _, d := range diags {
+			if sup.match(d) {
+				res.Suppressed = append(res.Suppressed, d)
+			} else {
+				res.Findings = append(res.Findings, d)
+			}
+		}
+		for _, u := range uses {
+			if !u.used && known[u.Analyzer] {
+				res.Findings = append(res.Findings, Diagnostic{
+					Analyzer: u.Analyzer,
+					Pos:      u.Pos,
+					Message: fmt.Sprintf("unused %s %s — no %s finding on the annotated line; remove the stale suppression",
+						AllowPrefix, u.Analyzer, u.Analyzer),
+				})
+			}
+		}
+	}
+	sortDiags(res.Findings)
+	sortDiags(res.Suppressed)
+	sort.Slice(res.Allows, func(i, j int) bool {
+		a, b := res.Allows[i].Pos, res.Allows[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return res, nil
+}

@@ -1,0 +1,60 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/load"
+	"repro/internal/lint/wallclock"
+)
+
+// TestRunSuppression drives the full pipeline over the driver fixture and
+// pins the three suppression behaviours: line-above and trailing
+// annotations silence their finding, and an annotation that excuses
+// nothing is itself a finding.
+func TestRunSuppression(t *testing.T) {
+	dir, err := filepath.Abs("testdata/src/engine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := load.New(moduleRoot(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lint.Run(l, []*lint.Analyzer{wallclock.Analyzer}, []string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Suppressed) != 2 {
+		t.Errorf("suppressed = %d findings, want 2 (line-above and trailing forms):\n%v",
+			len(res.Suppressed), res.Suppressed)
+	}
+	if len(res.Findings) != 1 {
+		t.Fatalf("findings = %d, want exactly the stale-suppression one:\n%v",
+			len(res.Findings), res.Findings)
+	}
+	if d := res.Findings[0]; d.Analyzer != "wallclock" ||
+		!strings.Contains(d.Message, "unused //jitlint:allow wallclock") {
+		t.Errorf("stale-suppression finding looks wrong: %s", d)
+	}
+	if len(res.Allows) != 3 {
+		t.Errorf("inventory lists %d annotations, want 3", len(res.Allows))
+	}
+}
+
+func moduleRoot(t *testing.T, dir string) string {
+	t.Helper()
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			t.Fatalf("no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,12 @@
+package suppaudit_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/suppaudit"
+)
+
+func TestSuppaudit(t *testing.T) {
+	linttest.Run(t, "testdata/src/fixture", suppaudit.Analyzer)
+}

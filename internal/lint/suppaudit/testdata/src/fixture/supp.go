@@ -1,0 +1,14 @@
+// Package fixture exercises the suppression audit: bare annotations,
+// unknown analyzer names and missing reasons are findings; a well-formed
+// annotation is not.
+package fixture
+
+var a = 1 //jitlint:allow // want "bare //jitlint:allow"
+
+var b = 2 //jitlint:allow nosuchcheck the analyzer name is wrong // want "unknown analyzer"
+
+var c = 3 //jitlint:allow maporder // want "without a reason"
+
+// A well-formed annotation (known analyzer, written reason) passes the
+// audit even when the named analyzer is not in this run.
+var d = 4 //jitlint:allow maporder fixture: reason present and analyzer known

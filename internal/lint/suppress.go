@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// AllowPrefix is the suppression directive. The comment form is
+// //jitlint:allow <analyzer> <reason>, written like a compiler directive
+// (no space after //) so gofmt leaves it alone.
+const AllowPrefix = "//jitlint:allow"
+
+// Allow is one parsed //jitlint:allow annotation.
+type Allow struct {
+	// Analyzer is the finding class being excused; empty when the
+	// annotation is malformed (missing entirely).
+	Analyzer string
+	// Reason is the mandatory justification — everything after the
+	// analyzer name.
+	Reason string
+	Pos    token.Position
+	// TokPos is the comment's token position, for reporting.
+	TokPos token.Pos
+}
+
+// ParseAllows extracts every //jitlint:allow annotation from the file,
+// malformed ones included (suppaudit wants those too).
+func ParseAllows(fset *token.FileSet, f *ast.File) []Allow {
+	var out []Allow
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, AllowPrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, AllowPrefix)
+			// A second `//`-introduced remark on the line (the fixtures'
+			// `// want` annotations use this) is not part of the directive.
+			if i := strings.Index(rest, " // "); i >= 0 {
+				rest = rest[:i]
+			}
+			a := Allow{Pos: fset.Position(c.Pos()), TokPos: c.Pos()}
+			fields := strings.Fields(rest)
+			if len(fields) > 0 {
+				a.Analyzer = fields[0]
+				a.Reason = strings.TrimSpace(rest[strings.Index(rest, fields[0])+len(fields[0]):])
+			}
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// allowKey addresses an annotation by file and line for suppression
+// matching.
+type allowKey struct {
+	file string
+	line int
+}
+
+// suppressor matches findings to annotations. An annotation on line L
+// silences findings of its analyzer on L (trailing comment) and on L+1
+// (annotation on its own line above the flagged statement).
+type suppressor struct {
+	allows map[allowKey][]*allowUse
+}
+
+type allowUse struct {
+	Allow
+	used bool
+}
+
+func newSuppressor() *suppressor {
+	return &suppressor{allows: map[allowKey][]*allowUse{}}
+}
+
+func (s *suppressor) add(a Allow) *allowUse {
+	u := &allowUse{Allow: a}
+	k := allowKey{a.Pos.Filename, a.Pos.Line}
+	s.allows[k] = append(s.allows[k], u)
+	return u
+}
+
+// match reports whether d is excused by an annotation, marking the
+// annotation used.
+func (s *suppressor) match(d Diagnostic) bool {
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, u := range s.allows[allowKey{d.Pos.Filename, line}] {
+			if u.Analyzer == d.Analyzer && u.Reason != "" {
+				u.used = true
+				return true
+			}
+		}
+	}
+	return false
+}

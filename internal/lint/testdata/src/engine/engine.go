@@ -1,0 +1,24 @@
+// Package engine is a driver fixture for suppression semantics: one
+// annotation used from the line above, one used in trailing position, and
+// one excusing nothing — which the driver itself flags as stale.
+package engine
+
+import "time"
+
+// Used, line-above form: excuses the wallclock finding on the next line.
+func twin() time.Time {
+	//jitlint:allow wallclock fixture: excused wall read
+	return time.Now()
+}
+
+// Used, trailing form: excuses the finding on its own line.
+func twinTrailing() time.Time {
+	return time.Now() //jitlint:allow wallclock fixture: trailing-form suppression
+}
+
+// Unused: nothing on or under this line violates wallclock, so the
+// annotation itself becomes the finding.
+func pure(t time.Time) time.Time {
+	//jitlint:allow wallclock fixture: nothing to excuse here
+	return t
+}

@@ -1,0 +1,10 @@
+// Package exp is a tracedisc scope fixture: harness-side packages wire
+// sinks and tracers together, which is construction, not emission.
+package exp
+
+import "repro/internal/obs"
+
+func wire() (*obs.MemorySink, *obs.Tracer) {
+	sink := &obs.MemorySink{}
+	return sink, obs.New(obs.Options{Sink: sink})
+}

@@ -1,0 +1,18 @@
+package tracedisc_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/tracedisc"
+)
+
+func TestTracedisc(t *testing.T) {
+	linttest.Run(t, "testdata/src/engine", tracedisc.Analyzer)
+}
+
+// TestTracediscScope checks the package filter: sink construction on the
+// harness side is wiring, not emission.
+func TestTracediscScope(t *testing.T) {
+	linttest.Run(t, "testdata/src/exp", tracedisc.Analyzer)
+}

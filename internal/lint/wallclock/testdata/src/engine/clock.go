@@ -1,0 +1,47 @@
+// Package engine is a wallclock fixture: host-clock reads and global rand
+// draws are flagged, seeded generators and event-time arithmetic are not.
+package engine
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+// Flagged: reading the host clock.
+func stamp() int64 {
+	return time.Now().UnixNano() // want "wall-clock read time\\.Now"
+}
+
+// Flagged: time.Since is a disguised Now.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "wall-clock read time\\.Since"
+}
+
+// Flagged: a draw from the global, implicitly seeded generator.
+func jitter() int {
+	return rand.Intn(10) // want "global math/rand draw rand\\.Intn"
+}
+
+// Flagged: math/rand/v2's global draws are just as unseeded.
+func jitterV2() int {
+	return randv2.IntN(10) // want "global math/rand draw rand\\.IntN"
+}
+
+// Not flagged: an explicitly seeded generator; the draws are methods on
+// *rand.Rand, deterministic by construction.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// Not flagged: arithmetic on event time never observes the clock.
+func deadline(t time.Time, d time.Duration) time.Time {
+	return t.Add(d)
+}
+
+// Suppressed: an excused wall read with a written reason.
+func wallTwin() time.Time {
+	//jitlint:allow wallclock fixture: operator-facing timing only, no deterministic artifact reads it
+	return time.Now()
+}

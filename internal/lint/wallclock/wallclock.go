@@ -1,0 +1,85 @@
+// Package wallclock forbids wall-clock reads (time.Now, time.Since) and
+// global math/rand draws in the engine-path packages. The engine is an
+// event-time system: every deterministic artifact — counters, finals,
+// sampled series, checkpoints — is a pure function of the input stream and
+// the seed, which a single time.Now or unseeded rand call silently breaks
+// on some future path. Seeded generators (rand.New(rand.NewSource(seed)),
+// rand.NewZipf) are fine and not flagged: determinism comes from the seed,
+// not from avoiding randomness.
+//
+// Legitimate wall-clock sites exist — the obs wall-twin histogram, the
+// elapsed-time fields engine/shard/serve report for operators' eyes only —
+// and each carries a //jitlint:allow wallclock <reason> annotation, so the
+// full allowlist is the `jitlint -inventory` output rather than a config
+// file nobody rereads.
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// EnginePathPackages are the packages that execute or feed the event-time
+// engine (matched by import-path base). The harness-side packages (report,
+// exp, scenario) and the CLIs are exempt: progress logging and benchmark
+// timing are their job.
+var EnginePathPackages = []string{
+	"adapt", "bloom", "checkpoint", "core", "engine", "feedback", "lattice",
+	"metrics", "obs", "operator", "plan", "predicate", "serve", "shard",
+	"source", "state", "stream",
+}
+
+// Analyzer is the wallclock check.
+var Analyzer = &lint.Analyzer{
+	Name: "wallclock",
+	Doc: "forbids time.Now/time.Since and global math/rand draws in engine-path " +
+		"packages; event-time code must be a pure function of stream and seed",
+	Packages: EnginePathPackages,
+	Run:      run,
+}
+
+// seededConstructors are the math/rand functions that build explicitly
+// seeded generators — the deterministic way to use randomness.
+var seededConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil {
+				return true // methods (e.g. *rand.Rand draws) are seeded by construction
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if fn.Name() == "Now" || fn.Name() == "Since" {
+					pass.Reportf(id.Pos(),
+						"wall-clock read time.%s in engine-path package %s: event-time code must not "+
+							"observe the host clock; use stream time, or annotate %s wallclock <reason>",
+						fn.Name(), pass.Path, lint.AllowPrefix)
+				}
+			case "math/rand", "math/rand/v2":
+				if !seededConstructors[fn.Name()] {
+					pass.Reportf(id.Pos(),
+						"global math/rand draw rand.%s in engine-path package %s: unseeded randomness "+
+							"breaks run-to-run determinism; draw from rand.New(rand.NewSource(seed)), or "+
+							"annotate %s wallclock <reason>",
+						fn.Name(), pass.Path, lint.AllowPrefix)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	linttest.Run(t, "testdata/src/engine", wallclock.Analyzer)
+}
+
+// TestWallclockScope checks the package filter: report/exp/scenario and the
+// CLIs are allowed to read the clock.
+func TestWallclockScope(t *testing.T) {
+	linttest.Run(t, "testdata/src/report", wallclock.Analyzer)
+}

@@ -38,9 +38,11 @@ func TestAccountNegativePanics(t *testing.T) {
 }
 
 // TestCountersAddCoversEveryField walks the Counters struct by reflection
-// and asserts Add accumulates every field, so a counter added in the
-// future can't be silently dropped from shard merging (internal/shard sums
-// per-replica counters through Add).
+// and asserts Add accumulates every field with distinct values, so a
+// swapped or mis-scaled assignment can't cancel out. The *exhaustiveness*
+// half of this contract (Add must reference every field at all) is also
+// enforced statically by the countersmerge analyzer in internal/lint; this
+// test keeps the merge semantics — that the sums actually sum.
 func TestCountersAddCoversEveryField(t *testing.T) {
 	var src, dst Counters
 	sv := reflect.ValueOf(&src).Elem()
@@ -67,7 +69,9 @@ func TestCountersAddCoversEveryField(t *testing.T) {
 // TestOpStatsAddCoversEveryField is the OpStats twin of the Counters pin:
 // shard merging (engine.Result.Ops aggregation) and the obs sampler's
 // per-operator deltas both go through Add/Delta, so a new OpStats field must
-// flow through both.
+// flow through both. As with Counters, countersmerge enforces the
+// exhaustiveness half statically; this test owns the semantics (Add sums,
+// Delta inverts Add field-wise).
 func TestOpStatsAddCoversEveryField(t *testing.T) {
 	var src, dst OpStats
 	sv := reflect.ValueOf(&src).Elem()

@@ -287,7 +287,7 @@ func (t *Tracer) Advance(ts stream.Time) {
 		t.now = ts
 	}
 	if t.wallOn {
-		t.wallAt = time.Now()
+		t.wallAt = time.Now() //jitlint:allow wallclock the opt-in wall-latency twin exists to measure host scheduling; it never enters a deterministic artifact (package doc)
 	}
 	if t.sampler != nil && t.sampler.Tick(t.now) {
 		t.publish()
@@ -443,7 +443,7 @@ func (t *Tracer) Delivery(resultTS stream.Time) {
 	}
 	t.lat.Observe(uint64(lat))
 	if t.wallOn {
-		t.latWall.Observe(uint64(time.Since(t.wallAt)))
+		t.latWall.Observe(uint64(time.Since(t.wallAt))) //jitlint:allow wallclock the opt-in wall-latency twin exists to measure host scheduling; it never enters a deterministic artifact (package doc)
 	}
 }
 

@@ -271,12 +271,12 @@ func Open(cfg Config) (*Server, error) {
 		j.SetExact(true)
 	}
 	if ck != nil {
-		start := time.Now()
+		start := time.Now() //jitlint:allow wallclock RecoveryInfo.Elapsed is an operator-facing latency report; replayed state is clock-independent
 		b.ReplayInWindow(ck.Rows)
 		s.recovery = &RecoveryInfo{
 			Path: ckPath, Cut: ck.Cut, Rows: len(ck.Rows), Keys: len(ck.Keys),
 			Tail: len(ck.Tail), IngestHWM: resumeID, Delivered: resumeSeq,
-			Elapsed: time.Since(start),
+			Elapsed: time.Since(start), //jitlint:allow wallclock RecoveryInfo.Elapsed is an operator-facing latency report; replayed state is clock-independent
 		}
 		// Every delivery the replay regenerated was committed pre-crash and
 		// absorbed by the seeded tap; the sequence must not have advanced.
@@ -421,6 +421,7 @@ func (s *Server) Shutdown() {
 	s.lis.Close()
 	s.mu.Lock()
 	s.stopping = true
+	//jitlint:allow maporder closes every non-subscriber conn; close order is unobservable (each peer only sees its own socket)
 	for c, role := range s.conns {
 		if role != roleSubscribe {
 			c.Close()

@@ -59,6 +59,7 @@ func (t *tap) Consume(c *stream.Composite, p operator.Port) {
 // and returns the survivors — the dedup seed a checkpoint at this cut needs.
 func (t *tap) seed(cut, window stream.Time) []checkpoint.DeliveredKey {
 	var out []checkpoint.DeliveredKey
+	//jitlint:allow maporder seed order is irrelevant: checkpoint.Encode sorts keys (MinTS, Key) before writing, and restore re-ingests into a map
 	for k, ts := range t.seen {
 		if ts+window <= cut {
 			delete(t.seen, k)

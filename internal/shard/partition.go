@@ -99,6 +99,7 @@ func coverage(class []predicate.Attr) int {
 // Covered returns the set of routed sources.
 func (k Key) Covered() stream.SourceSet {
 	var set stream.SourceSet
+	//jitlint:allow maporder commutative bitset union of routed sources; any visit order yields the same set
 	for id := range k.Cols {
 		set = set.Add(id)
 	}
